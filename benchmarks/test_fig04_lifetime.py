@@ -1,0 +1,23 @@
+"""Figure 4: register lifecycle shares (in-use / unused / verified-unused)."""
+
+from repro.experiments import fig04
+
+from conftest import emit
+
+
+def test_fig04_lifetime(benchmark, int_suite, fp_suite, instructions):
+    result = benchmark.pedantic(
+        fig04.run,
+        kwargs=dict(int_benchmarks=int_suite, fp_benchmarks=fp_suite,
+                    instructions=instructions),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    # Shape: a meaningful not-in-use window exists after last-use (the
+    # opportunity early release exploits).  Note: our precommit models the
+    # guaranteed-not-to-fault point at address translation (issue), which
+    # is more aggressive than the paper's measured precommit, so some of
+    # the paper's 'unused' share appears here as 'verified-unused'.
+    not_in_use = result.int_total.unused + result.int_total.verified_unused
+    assert not_in_use > 0.05
+    assert result.int_total.in_use > 0.3

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Bring your own workload: assembly text or a statistical profile.
+
+Shows the two ways to feed the simulator something that is not a SPEC
+stand-in kernel: (a) write a kernel in the text assembly language, (b)
+describe a workload statistically and synthesize it.  Both are validated
+against the functional emulator before timing simulation.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.frontend import final_state, run_program
+from repro.isa import assemble
+from repro.pipeline import Core, golden_cove_config
+from repro.workloads import WorkloadProfile, synthesize
+
+_DATA_WORDS = "\n".join(
+    f"    .word {0x10000 + 8 * i} {i % 17}\n    .word {0x20000 + 8 * i} {i % 13}"
+    for i in range(512)
+)
+
+DOT_PRODUCT = f"""
+; dot product with a blocked accumulator (atomic-region friendly)
+{_DATA_WORDS}
+    movi r1, 512        ; elements
+    movi r2, 0x10000    ; a[]
+    movi r3, 0x20000    ; b[]
+    movi r4, 1
+    movi r6, 0          ; sum
+loop:
+    ld r7, r2, 0
+    ld r8, r3, 0
+    mul r9, r7, r8      ; r9 is a block-local temp ...
+    shr r9, r9, 4       ; ... redefined immediately (atomic region)
+    add r6, r6, r9
+    lea r2, r2, 8
+    lea r3, r3, 8
+    sub r1, r1, r4
+    test r1, r1
+    bne loop
+    halt
+"""
+
+
+def run_trace(trace, label: str) -> None:
+    for scheme in ("baseline", "combined"):
+        core = Core(golden_cove_config(rf_size=64, scheme=scheme), trace)
+        stats = core.run()
+        print(f"  {label:24} {scheme:10} IPC {stats.ipc:.3f}  "
+              f"early frees {core.scheme.stats.early_frees}")
+
+
+def main() -> None:
+    # (a) hand-written assembly
+    program = assemble(DOT_PRODUCT, name="dot")
+    golden = final_state(program)
+    print(f"dot product: architectural sum = {golden.int_regs[6]}")
+    run_trace(run_program(program), "hand-written asm")
+
+    # (b) statistical synthesis
+    profile = WorkloadProfile(
+        name="my_workload",
+        alu_weight=6, load_weight=2, store_weight=1,
+        branch_prob=0.5, taken_bias=0.6, block_length=8,
+        working_set=4096, seed=2024,
+    )
+    trace = run_program(synthesize(profile, iterations=20),
+                        max_instructions=8000)
+    print(f"\nsynthesized profile: {trace.summary()}")
+    run_trace(trace, "synthesized profile")
+
+
+if __name__ == "__main__":
+    main()

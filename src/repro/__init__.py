@@ -1,0 +1,35 @@
+"""repro — reproduction of "ATR: Out-of-Order Register Release Exploiting
+Atomic Regions" (Zhao, Oh, Xu, Litz — MICRO 2025).
+
+Subpackages:
+
+* :mod:`repro.isa` — the reproduction ISA (registers, opcodes, programs,
+  assembler).
+* :mod:`repro.frontend` — functional emulator (golden model), dynamic
+  traces, wrong-path supply.
+* :mod:`repro.workloads` — SPEC-named stand-in kernels, statistical
+  synthesis, SimPoint-lite phase analysis.
+* :mod:`repro.branch` — TAGE-SC-L-lite, BTB, indirect predictor, RAS.
+* :mod:`repro.memory` — caches, prefetchers, DRAM, MSHRs.
+* :mod:`repro.rename` — free lists, SRT, PRT, and the release schemes
+  (baseline / nonspec-ER / **ATR** / combined) — the paper's core.
+* :mod:`repro.pipeline` — the Golden-Cove-like cycle-level OoO core.
+* :mod:`repro.analysis` — region classification, register lifecycle,
+  event timing.
+* :mod:`repro.hwmodel` — gate-level bulk-NER circuit, McPAT-lite.
+* :mod:`repro.experiments` — one module per paper figure.
+
+Quickstart::
+
+    from repro.workloads import build_trace
+    from repro.pipeline import golden_cove_config, Core
+
+    trace = build_trace("505.mcf_r", 20_000)
+    core = Core(golden_cove_config(rf_size=64, scheme="atr"), trace)
+    stats = core.run()
+    print(stats.ipc, core.scheme.stats.atr_frees)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,15 @@
+"""Branch prediction: TAGE-SC-L-lite, bimodal, gshare, BTB, indirect, RAS."""
+
+from .interface import DirectionPredictor, Prediction, TargetPredictor, saturate
+from .simple import AlwaysNotTaken, AlwaysTaken, Bimodal, GShare, Oracle
+from .tage import LoopPredictor, Tage
+from .targets import BranchTargetBuffer, IndirectTargetPredictor, ReturnAddressStack
+from .unit import BranchStats, BranchUnit
+
+__all__ = [
+    "DirectionPredictor", "TargetPredictor", "Prediction", "saturate",
+    "AlwaysTaken", "AlwaysNotTaken", "Oracle", "Bimodal", "GShare",
+    "Tage", "LoopPredictor",
+    "BranchTargetBuffer", "IndirectTargetPredictor", "ReturnAddressStack",
+    "BranchUnit", "BranchStats",
+]

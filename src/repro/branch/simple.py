@@ -1,0 +1,103 @@
+"""Simple direction predictors: static, bimodal, gshare.
+
+These serve as baselines, as TAGE's fallback component, and as cheap
+predictors for fast unit tests of the pipeline.
+"""
+
+from __future__ import annotations
+
+from .interface import DirectionPredictor, saturate
+
+
+class AlwaysTaken(DirectionPredictor):
+    """Static predict-taken (useful to force mispredictions in tests)."""
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class AlwaysNotTaken(DirectionPredictor):
+    """Static predict-not-taken."""
+
+    def predict(self, pc: int) -> bool:
+        return False
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class Oracle(DirectionPredictor):
+    """Perfect prediction (the simulator feeds it the actual outcome).
+
+    Used for no-misprediction pipeline runs; ``set_outcome`` must be called
+    before ``predict`` for the same pc.
+    """
+
+    def __init__(self):
+        self._next_outcome = False
+
+    def set_outcome(self, taken: bool) -> None:
+        self._next_outcome = taken
+
+    def predict(self, pc: int) -> bool:
+        return self._next_outcome
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class Bimodal(DirectionPredictor):
+    """Classic per-PC 2-bit saturating counter table."""
+
+    def __init__(self, entries: int = 4096, counter_bits: int = 2):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.max_counter = (1 << counter_bits) - 1
+        self.threshold = 1 << (counter_bits - 1)
+        self.table = [self.threshold] * entries
+
+    def _index(self, pc: int) -> int:
+        return pc & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self.table[self._index(pc)] >= self.threshold
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._index(pc)
+        self.table[i] = saturate(self.table[i], 1 if taken else -1, 0, self.max_counter)
+
+    def confidence(self, pc: int) -> bool:
+        """Saturated counters are high-confidence."""
+        counter = self.table[self._index(pc)]
+        return counter == 0 or counter == self.max_counter
+
+
+class GShare(DirectionPredictor):
+    """Global-history XOR-indexed 2-bit counter table."""
+
+    def __init__(self, entries: int = 16384, history_bits: int = 12):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.history_bits = history_bits
+        self.history = 0
+        self.table = [2] * entries
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ (self.history & ((1 << self.history_bits) - 1))) & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._index(pc)
+        self.table[i] = saturate(self.table[i], 1 if taken else -1, 0, 3)
+        self.history = ((self.history << 1) | int(taken)) & ((1 << self.history_bits) - 1)
+
+    def confidence(self, pc: int) -> bool:
+        counter = self.table[self._index(pc)]
+        return counter in (0, 3)

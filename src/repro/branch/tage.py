@@ -1,0 +1,247 @@
+"""TAGE direction predictor (TAGE-SC-L-lite).
+
+A faithful-in-structure implementation of the TAGE predictor the paper's
+Golden-Cove-like Scarab configuration uses ("TAGE-SC-L + BPU enhancements"):
+a bimodal base predictor plus N partially-tagged tables indexed by
+geometrically increasing global-history lengths, with provider/altpred
+selection, useful counters, and graceful allocation on mispredictions.
+A small loop predictor provides the "L" component; the statistical
+corrector is omitted (it corrects <1% of predictions and does not affect
+register-release behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .interface import DirectionPredictor, saturate
+from .simple import Bimodal
+
+
+@dataclass
+class _TageEntry:
+    tag: int = 0
+    counter: int = 4  # 3-bit, weakly taken at 4 (range 0..7)
+    useful: int = 0  # 2-bit
+
+
+class _TaggedTable:
+    """One partially-tagged TAGE component."""
+
+    def __init__(self, entries: int, tag_bits: int, history_length: int):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self.history_length = history_length
+        self.table = [_TageEntry() for _ in range(entries)]
+
+    def _fold(self, history: int, bits: int) -> int:
+        """Fold ``history_length`` history bits down to *bits* bits."""
+        masked = history & ((1 << self.history_length) - 1)
+        folded = 0
+        while masked:
+            folded ^= masked & ((1 << bits) - 1)
+            masked >>= bits
+        return folded
+
+    def index(self, pc: int, history: int) -> int:
+        return (pc ^ (pc >> 4) ^ self._fold(history, self.entries.bit_length() - 1)) & (
+            self.entries - 1
+        )
+
+    def tag(self, pc: int, history: int) -> int:
+        return (pc ^ self._fold(history, self.tag_bits) ^ (self._fold(history, self.tag_bits - 1) << 1)) & (
+            (1 << self.tag_bits) - 1
+        )
+
+
+class _LoopEntry:
+    __slots__ = ("tag", "trip_count", "current", "confidence")
+
+    def __init__(self):
+        self.tag = 0
+        self.trip_count = 0
+        self.current = 0
+        self.confidence = 0
+
+
+class LoopPredictor:
+    """Detects fixed-trip-count loops and predicts their exit."""
+
+    def __init__(self, entries: int = 64, confidence_max: int = 3):
+        self.entries = entries
+        self.confidence_max = confidence_max
+        self.table = [_LoopEntry() for _ in range(entries)]
+
+    def _entry(self, pc: int) -> _LoopEntry:
+        return self.table[pc % self.entries]
+
+    def predict(self, pc: int) -> Optional[bool]:
+        """Confident loop prediction, or ``None`` if not applicable."""
+        e = self._entry(pc)
+        if e.tag != pc or e.confidence < self.confidence_max or e.trip_count == 0:
+            return None
+        return e.current < e.trip_count
+
+    def update(self, pc: int, taken: bool) -> None:
+        e = self._entry(pc)
+        if e.tag != pc:
+            e.tag = pc
+            e.trip_count = 0
+            e.current = 0
+            e.confidence = 0
+            if not taken:
+                return
+        if taken:
+            e.current += 1
+        else:
+            # Loop exit: does the trip count repeat?
+            if e.trip_count == e.current and e.trip_count > 0:
+                e.confidence = saturate(e.confidence, 1, 0, self.confidence_max)
+            else:
+                e.trip_count = e.current
+                e.confidence = 0
+            e.current = 0
+
+
+class Tage(DirectionPredictor):
+    """TAGE with a bimodal base, tagged components, and a loop predictor."""
+
+    def __init__(
+        self,
+        num_tables: int = 6,
+        table_entries: int = 1024,
+        tag_bits: int = 9,
+        min_history: int = 4,
+        max_history: int = 128,
+        base_entries: int = 8192,
+        with_loop_predictor: bool = True,
+    ):
+        self.base = Bimodal(entries=base_entries, counter_bits=2)
+        lengths = _geometric_lengths(num_tables, min_history, max_history)
+        self.tables: List[_TaggedTable] = [
+            _TaggedTable(table_entries, tag_bits, length) for length in lengths
+        ]
+        self.history = 0
+        self.history_bits = max_history
+        self.loop = LoopPredictor() if with_loop_predictor else None
+        self.use_alt_on_new = 8  # 4-bit counter, >=8 prefers altpred for fresh entries
+        # Prediction bookkeeping (provider table etc.) keyed by pc for the
+        # common predict -> update flow.
+        self._last: dict = {}
+
+    # -- prediction ----------------------------------------------------------
+    def _lookup(self, pc: int):
+        provider = None
+        provider_index = -1
+        alt = None
+        alt_index = -1
+        for t in range(len(self.tables) - 1, -1, -1):
+            table = self.tables[t]
+            idx = table.index(pc, self.history)
+            entry = table.table[idx]
+            if entry.tag == table.tag(pc, self.history):
+                if provider is None:
+                    provider, provider_index = t, idx
+                elif alt is None:
+                    alt, alt_index = t, idx
+                    break
+        return provider, provider_index, alt, alt_index
+
+    def predict(self, pc: int) -> bool:
+        if self.loop is not None:
+            loop_pred = self.loop.predict(pc)
+        else:
+            loop_pred = None
+        provider, p_idx, alt, a_idx = self._lookup(pc)
+        base_pred = self.base.predict(pc)
+        if provider is None:
+            pred = base_pred
+            alt_pred = base_pred
+        else:
+            entry = self.tables[provider].table[p_idx]
+            provider_pred = entry.counter >= 4
+            if alt is not None:
+                alt_pred = self.tables[alt].table[a_idx].counter >= 4
+            else:
+                alt_pred = base_pred
+            newly_allocated = entry.useful == 0 and entry.counter in (3, 4)
+            if newly_allocated and self.use_alt_on_new >= 8:
+                pred = alt_pred
+            else:
+                pred = provider_pred
+        self._last[pc] = (provider, p_idx, alt, a_idx, pred, alt_pred)
+        return loop_pred if loop_pred is not None else pred
+
+    def confidence(self, pc: int) -> bool:
+        """High confidence when the provider counter is strongly saturated."""
+        provider, p_idx, _, _ = self._lookup(pc)
+        if provider is None:
+            return self.base.confidence(pc)
+        counter = self.tables[provider].table[p_idx].counter
+        return counter <= 1 or counter >= 6
+
+    # -- update ----------------------------------------------------------------
+    def update(self, pc: int, taken: bool) -> None:
+        if self.loop is not None:
+            self.loop.update(pc, taken)
+        state = self._last.pop(pc, None)
+        if state is None:
+            # update without a preceding predict (e.g. replayed): look up now
+            provider, p_idx, alt, a_idx = self._lookup(pc)
+            pred = alt_pred = None
+        else:
+            provider, p_idx, alt, a_idx, pred, alt_pred = state
+
+        if provider is not None:
+            table = self.tables[provider]
+            entry = table.table[p_idx]
+            if pred is not None and pred != alt_pred:
+                # provider was useful iff it was right where altpred was wrong
+                entry.useful = saturate(entry.useful, 1 if pred == taken else -1, 0, 3)
+                self.use_alt_on_new = saturate(
+                    self.use_alt_on_new, -1 if pred == taken else 1, 0, 15
+                )
+            entry.counter = saturate(entry.counter, 1 if taken else -1, 0, 7)
+        else:
+            self.base.update(pc, taken)
+
+        mispredicted = pred is not None and pred != taken
+        if mispredicted:
+            self._allocate(pc, taken, provider)
+
+        self.history = ((self.history << 1) | int(taken)) & ((1 << self.history_bits) - 1)
+
+    def _allocate(self, pc: int, taken: bool, provider: Optional[int]) -> None:
+        """Allocate a new entry in a longer-history table on a mispredict."""
+        start = (provider + 1) if provider is not None else 0
+        for t in range(start, len(self.tables)):
+            table = self.tables[t]
+            idx = table.index(pc, self.history)
+            entry = table.table[idx]
+            if entry.useful == 0:
+                entry.tag = table.tag(pc, self.history)
+                entry.counter = 4 if taken else 3
+                entry.useful = 0
+                return
+        # No victim: age the candidate entries instead.
+        for t in range(start, len(self.tables)):
+            table = self.tables[t]
+            entry = table.table[table.index(pc, self.history)]
+            entry.useful = saturate(entry.useful, -1, 0, 3)
+
+
+def _geometric_lengths(count: int, shortest: int, longest: int) -> List[int]:
+    """Geometrically spaced history lengths, TAGE-style."""
+    if count == 1:
+        return [shortest]
+    ratio = (longest / shortest) ** (1.0 / (count - 1))
+    lengths = []
+    for i in range(count):
+        length = int(round(shortest * ratio**i))
+        if lengths and length <= lengths[-1]:
+            length = lengths[-1] + 1
+        lengths.append(length)
+    return lengths

@@ -1,0 +1,129 @@
+"""Target prediction: BTB, indirect target predictor, return address stack.
+
+The paper's configuration has a 12K-entry BTB and a 3K-entry indirect
+target buffer; both are modeled as set-associative tagged structures with
+LRU replacement.  The :class:`ReturnAddressStack` mirrors the hardware RAS
+including overflow wraparound and (optional) checkpoint/restore used on
+flush recovery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .interface import TargetPredictor
+
+
+class _SetAssocTargets:
+    """Generic set-associative (tag -> target) store with LRU."""
+
+    def __init__(self, entries: int, ways: int):
+        if entries % ways:
+            raise ValueError("entries must be a multiple of ways")
+        self.sets = entries // ways
+        self.ways = ways
+        # Each set is an ordered list of (tag, target); index 0 = MRU.
+        self._sets: List[List[Tuple[int, int]]] = [[] for _ in range(self.sets)]
+
+    def _set_of(self, pc: int) -> List[Tuple[int, int]]:
+        return self._sets[pc % self.sets]
+
+    def lookup(self, pc: int) -> Optional[int]:
+        entries = self._set_of(pc)
+        for i, (tag, target) in enumerate(entries):
+            if tag == pc:
+                entries.insert(0, entries.pop(i))
+                return target
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        entries = self._set_of(pc)
+        for i, (tag, _) in enumerate(entries):
+            if tag == pc:
+                entries.pop(i)
+                break
+        entries.insert(0, (pc, target))
+        if len(entries) > self.ways:
+            entries.pop()
+
+
+class BranchTargetBuffer(TargetPredictor):
+    """BTB for direct branches/jumps/calls."""
+
+    def __init__(self, entries: int = 12288, ways: int = 6):
+        self._store = _SetAssocTargets(entries, ways)
+        self.lookups = 0
+        self.misses = 0
+
+    def predict(self, pc: int) -> Optional[int]:
+        self.lookups += 1
+        target = self._store.lookup(pc)
+        if target is None:
+            self.misses += 1
+        return target
+
+    def update(self, pc: int, target: int) -> None:
+        self._store.install(pc, target)
+
+
+class IndirectTargetPredictor(TargetPredictor):
+    """Path-history-hashed predictor for indirect jumps (ITTAGE-lite).
+
+    Indexes a tagged store with pc XOR folded target history, falling back
+    to a per-PC last-target table.
+    """
+
+    def __init__(self, entries: int = 3072, ways: int = 3, history_targets: int = 4):
+        self._hashed = _SetAssocTargets(entries, ways)
+        self._last_target: dict = {}
+        self._history: List[int] = []
+        self._history_targets = history_targets
+
+    def _hash(self, pc: int) -> int:
+        h = pc
+        for i, target in enumerate(self._history):
+            h ^= (target << (i + 1)) | (target >> 7)
+        return h & 0x7FFFFFFF
+
+    def predict(self, pc: int) -> Optional[int]:
+        target = self._hashed.lookup(self._hash(pc))
+        if target is not None:
+            return target
+        return self._last_target.get(pc)
+
+    def update(self, pc: int, target: int) -> None:
+        self._hashed.install(self._hash(pc), target)
+        self._last_target[pc] = target
+        self._history.append(target)
+        if len(self._history) > self._history_targets:
+            self._history.pop(0)
+
+
+class ReturnAddressStack:
+    """Hardware return-address stack with wraparound overflow."""
+
+    def __init__(self, depth: int = 32):
+        self.depth = depth
+        self._stack: List[int] = []
+
+    def push(self, return_pc: int) -> None:
+        self._stack.append(return_pc)
+        if len(self._stack) > self.depth:
+            self._stack.pop(0)
+
+    def pop(self) -> Optional[int]:
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def peek(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    def snapshot(self) -> Tuple[int, ...]:
+        return tuple(self._stack)
+
+    def restore(self, snap: Tuple[int, ...]) -> None:
+        self._stack = list(snap)
+
+    def __len__(self) -> int:
+        return len(self._stack)

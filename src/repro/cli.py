@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — simulate one benchmark under one configuration and print the
+  stats (IPC, stalls, release breakdown).
+* ``compare`` — all four schemes side by side on one benchmark.
+* ``figure`` — regenerate one of the paper's figures (fig01..fig15, sec44).
+* ``analyze`` — trace-level atomic-region analysis of a benchmark.
+* ``list`` — the benchmark suite (paper Table 2).
+* ``disasm`` — disassemble a benchmark's kernel program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("benchmark", help="suite name, e.g. mcf or 505.mcf_r")
+    parser.add_argument("-n", "--instructions", type=int, default=10_000,
+                        help="dynamic trace length (default 10000)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ATR (MICRO 2025) reproduction: simulate, analyze, "
+                    "and regenerate the paper's figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one benchmark")
+    _add_common(run)
+    run.add_argument("-s", "--scheme", default="atr",
+                     choices=["baseline", "nonspec_er", "atr", "combined"])
+    run.add_argument("-r", "--rf-size", type=int, default=64)
+    run.add_argument("-d", "--redefine-delay", type=int, default=0)
+
+    compare = sub.add_parser("compare", help="all four schemes side by side")
+    _add_common(compare)
+    compare.add_argument("-r", "--rf-size", type=int, default=64)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", help="fig01|fig04|fig06|fig10|fig11|fig12|"
+                                     "fig13|fig14|fig15|sec44")
+    figure.add_argument("-n", "--instructions", type=int, default=None)
+    figure.add_argument("--quick", action="store_true",
+                        help="2 int + 2 fp benchmarks only")
+
+    analyze = sub.add_parser("analyze", help="atomic-region analysis")
+    _add_common(analyze)
+
+    sub.add_parser("list", help="list the benchmark suite")
+
+    disasm = sub.add_parser("disasm", help="disassemble a kernel")
+    disasm.add_argument("benchmark")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from .pipeline import Core, golden_cove_config
+    from .workloads import build_trace, resolve
+
+    name = resolve(args.benchmark)
+    trace = build_trace(name, args.instructions)
+    config = golden_cove_config(rf_size=args.rf_size, scheme=args.scheme,
+                                redefine_delay=args.redefine_delay)
+    core = Core(config, trace)
+    stats = core.run()
+    s = core.scheme.stats
+    print(f"{name}: {stats.committed} instructions in {stats.cycles} cycles "
+          f"(IPC {stats.ipc:.3f})")
+    print(f"  scheme {args.scheme} @ {args.rf_size} regs, "
+          f"redefine delay {args.redefine_delay}")
+    print(f"  releases: commit {s.commit_frees}, atr {s.atr_frees}, "
+          f"nonspec {s.nonspec_frees}, flush {s.flush_frees}")
+    print(f"  flushes {stats.flushes} ({stats.flushed_instructions} squashed, "
+          f"{stats.wrong_path_renamed} wrong-path renamed)")
+    print(f"  rename stalls: freelist {stats.stall_freelist}, "
+          f"rob {stats.stall_rob}, rs {stats.stall_rs}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .pipeline import Core, golden_cove_config
+    from .workloads import build_trace, resolve
+
+    name = resolve(args.benchmark)
+    trace = build_trace(name, args.instructions)
+    print(f"{name} @ {args.rf_size} registers, {len(trace)} instructions")
+    print(f"{'scheme':12} {'IPC':>7} {'vs base':>8} {'early frees':>12}")
+    base_ipc = None
+    for scheme in ("baseline", "nonspec_er", "atr", "combined"):
+        config = golden_cove_config(rf_size=args.rf_size, scheme=scheme)
+        core = Core(config, trace)
+        stats = core.run()
+        if base_ipc is None:
+            base_ipc = stats.ipc
+        gain = stats.ipc / base_ipc - 1
+        print(f"{scheme:12} {stats.ipc:7.3f} {gain:+7.2%} "
+              f"{core.scheme.stats.early_frees:12}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    import os
+
+    from .experiments import ALL_FIGURES
+
+    module = ALL_FIGURES.get(args.name)
+    if module is None:
+        print(f"unknown figure {args.name!r}; known: {', '.join(ALL_FIGURES)}",
+              file=sys.stderr)
+        return 2
+    if args.instructions:
+        os.environ["REPRO_BENCH_INSTRUCTIONS"] = str(args.instructions)
+    kwargs = {}
+    if args.quick and args.name not in ("sec44",):
+        int2 = ["505.mcf_r", "531.deepsjeng_r"]
+        fp2 = ["503.bwaves_r", "508.namd_r"]
+        import inspect
+
+        params = inspect.signature(module.run).parameters
+        if "int_benchmarks" in params:
+            kwargs["int_benchmarks"] = int2
+            kwargs["fp_benchmarks"] = fp2
+        elif "benchmarks" in params:
+            kwargs["benchmarks"] = int2 + fp2
+    result = module.run(**kwargs)
+    print(result.render())
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis import classify_regions
+    from .workloads import build_trace, resolve
+
+    name = resolve(args.benchmark)
+    trace = build_trace(name, args.instructions)
+    report = classify_regions(trace)
+    print(f"{name}: {len(trace)} instructions, "
+          f"{report.total_allocations} register allocations")
+    for kind in ("non_branch", "non_except", "atomic"):
+        print(f"  {kind:>11}: {report.ratio(kind):6.2%}")
+    print(f"  mean consumers per atomic region: {report.mean_consumers():.2f}")
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    from .workloads import SPEC_FP, SPEC_INT
+
+    print("SPEC2017int stand-ins:")
+    for name in SPEC_INT:
+        print(f"  {name}")
+    print("SPEC2017fp stand-ins:")
+    for name in SPEC_FP:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from .isa import disassemble
+    from .workloads import builder_for, resolve
+
+    name = resolve(args.benchmark)
+    program = builder_for(name)(iterations=2)
+    print(disassemble(program))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "figure": _cmd_figure,
+    "analyze": _cmd_analyze,
+    "list": _cmd_list,
+    "disasm": _cmd_disasm,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

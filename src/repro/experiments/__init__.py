@@ -1,0 +1,38 @@
+"""Experiment harness: one module per paper figure, plus the runner.
+
+Each ``figNN`` module exposes ``run(...) -> result`` where the result has
+a ``render()`` producing the same rows/series the paper reports, with
+measured-vs-paper comparison lines.
+"""
+
+from . import expectations, fig01, fig04, fig06, fig10, fig11, fig12, fig13, fig14, fig15, sec44
+from .report import compare_line, format_table, pct, shorten
+from .runner import (
+    CellResult,
+    clear_result_cache,
+    default_fp_suite,
+    default_instructions,
+    default_int_suite,
+    geomean,
+    mean,
+    region_report,
+    run_cell,
+    speedup,
+    suite_speedup,
+)
+
+ALL_FIGURES = {
+    "fig01": fig01, "fig04": fig04, "fig06": fig06, "fig10": fig10,
+    "fig11": fig11, "fig12": fig12, "fig13": fig13, "fig14": fig14,
+    "fig15": fig15, "sec44": sec44,
+}
+
+__all__ = [
+    "run_cell", "CellResult", "region_report", "clear_result_cache",
+    "geomean", "mean", "speedup", "suite_speedup",
+    "default_instructions", "default_int_suite", "default_fp_suite",
+    "format_table", "compare_line", "pct", "shorten",
+    "expectations", "ALL_FIGURES",
+    "fig01", "fig04", "fig06", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "sec44",
+]

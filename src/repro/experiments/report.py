@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment results.
+
+Every figure module returns a result object with a ``render()`` method
+built on these helpers, so the benchmark harness can print the same rows
+and series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def pct(value: float) -> str:
+    return f"{value * 100:+.2f}%"
+
+
+def compare_line(label: str, measured: float, paper: float, as_pct: bool = True) -> str:
+    """One 'measured vs paper' row for EXPERIMENTS.md-style reporting."""
+    if as_pct:
+        return f"{label:48s} measured {pct(measured):>9s}   paper {pct(paper):>9s}"
+    return f"{label:48s} measured {measured:9.3f}   paper {paper:9.3f}"
+
+
+def shorten(benchmark: str) -> str:
+    """'520.omnetpp_r' -> 'omnetpp'."""
+    name = benchmark.split(".", 1)[-1]
+    return name[:-2] if name.endswith("_r") else name

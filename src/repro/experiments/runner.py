@@ -1,0 +1,159 @@
+"""Experiment execution: one simulation = one (benchmark, config) cell.
+
+Every figure module builds on :func:`run_cell`, which caches results
+in-process so overlapping sweeps (Figure 10's 64-register column reuses
+Figure 11's) simulate each cell once.  Scale is controlled by the
+``REPRO_BENCH_INSTRUCTIONS`` environment variable (default 5000 dynamic
+instructions per benchmark — enough for steady-state register-pressure
+behaviour of these loop-dominated kernels; raise it for tighter numbers).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis import RegionReport, classify_regions
+from ..pipeline import Core, CoreConfig, SimStats, golden_cove_config
+from ..rename.schemes import SchemeStats
+from ..workloads import SPEC_FP, SPEC_INT, build_trace, is_fp
+
+
+def default_instructions() -> int:
+    return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "5000"))
+
+
+def default_int_suite() -> Tuple[str, ...]:
+    return SPEC_INT
+
+
+def default_fp_suite() -> Tuple[str, ...]:
+    return SPEC_FP
+
+
+@dataclass
+class CellResult:
+    """One simulated (benchmark, configuration) cell."""
+
+    benchmark: str
+    scheme: str
+    rf_size: int
+    instructions: int
+    stats: SimStats
+    scheme_stats: SchemeStats
+    event_records: Optional[list] = None
+    region_report: Optional[RegionReport] = None
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def is_fp(self) -> bool:
+        return is_fp(self.benchmark)
+
+
+_cell_cache: Dict[tuple, CellResult] = {}
+_region_cache: Dict[tuple, RegionReport] = {}
+
+
+def run_cell(
+    benchmark: str,
+    rf_size: int,
+    scheme: str,
+    instructions: Optional[int] = None,
+    redefine_delay: int = 0,
+    record_register_events: bool = False,
+    config: Optional[CoreConfig] = None,
+    use_cache: bool = True,
+) -> CellResult:
+    """Simulate one benchmark under one configuration."""
+    instructions = instructions or default_instructions()
+    key = (benchmark, rf_size, scheme, instructions, redefine_delay,
+           record_register_events, config is None)
+    if use_cache and config is None and key in _cell_cache:
+        return _cell_cache[key]
+    if config is None:
+        config = golden_cove_config(
+            rf_size=rf_size,
+            scheme=scheme,
+            redefine_delay=redefine_delay,
+            record_register_events=record_register_events,
+        )
+        # Value execution is a correctness harness, not a performance
+        # model; experiments disable it for speed (tests keep it on).
+        config = replace(config, execute_values=False)
+    trace = build_trace(benchmark, instructions)
+    core = Core(config, trace)
+    stats = core.run()
+    result = CellResult(
+        benchmark=benchmark,
+        scheme=scheme,
+        rf_size=rf_size,
+        instructions=instructions,
+        stats=stats,
+        scheme_stats=core.scheme.stats,
+        event_records=(core.event_log.records if core.event_log else None),
+    )
+    if use_cache and key[-1]:
+        _cell_cache[key] = result
+    return result
+
+
+def region_report(benchmark: str, instructions: Optional[int] = None) -> RegionReport:
+    """Trace-level region classification (no simulation needed)."""
+    instructions = instructions or default_instructions()
+    key = (benchmark, instructions)
+    if key not in _region_cache:
+        _region_cache[key] = classify_regions(build_trace(benchmark, instructions))
+    return _region_cache[key]
+
+
+def clear_result_cache() -> None:
+    _cell_cache.clear()
+    _region_cache.clear()
+
+
+# -- aggregation helpers ---------------------------------------------------------
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def speedup(test_ipc: float, base_ipc: float) -> float:
+    """Fractional speedup (0.05 == +5%)."""
+    if base_ipc == 0:
+        return 0.0
+    return test_ipc / base_ipc - 1.0
+
+
+def suite_speedup(
+    benchmarks: Sequence[str],
+    rf_size: int,
+    scheme: str,
+    baseline: str = "baseline",
+    instructions: Optional[int] = None,
+    redefine_delay: int = 0,
+) -> float:
+    """Mean per-benchmark speedup of *scheme* over *baseline* (the
+    paper's 'average speedup' aggregation)."""
+    speedups = []
+    for benchmark in benchmarks:
+        test = run_cell(benchmark, rf_size, scheme, instructions,
+                        redefine_delay=redefine_delay)
+        base = run_cell(benchmark, rf_size, baseline, instructions)
+        speedups.append(speedup(test.ipc, base.ipc))
+    return mean(speedups)

@@ -1,0 +1,21 @@
+"""Functional frontend: golden-model emulator, trace capture, wrong path."""
+
+from .emulator import ArchState, EmulationError, Emulator, final_state, run_program
+from .trace import (
+    DynamicInstruction,
+    Trace,
+    read_trace,
+    read_trace_jsonl,
+    trace_from_bytes,
+    trace_to_bytes,
+    write_trace,
+    write_trace_jsonl,
+)
+from .wrongpath import WrongPathSupplier
+
+__all__ = [
+    "Emulator", "ArchState", "EmulationError", "run_program", "final_state",
+    "DynamicInstruction", "Trace", "read_trace", "write_trace",
+    "read_trace_jsonl", "write_trace_jsonl", "trace_to_bytes", "trace_from_bytes",
+    "WrongPathSupplier",
+]

@@ -1,0 +1,232 @@
+"""Dynamic instruction traces.
+
+A :class:`Trace` is the unit of work the cycle simulator consumes: the
+static :class:`~repro.isa.program.Program` plus the dynamic sequence of
+(pc, next_pc, taken, memory address) tuples the functional emulator
+produced.  This mirrors the paper's trace-based Scarab frontend, which
+replays "a precise, continuous sequence of dynamically executed basic
+blocks along with their corresponding memory addresses" and re-fetches
+static code on the wrong path.
+
+Traces can be serialized to a compact binary format (``.rtrace``) or to
+JSONL for inspection; both round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from ..isa import Instruction, Program, assemble, disassemble
+
+
+class DynamicInstruction:
+    """One dynamically executed instruction.
+
+    ``seq`` is the dynamic instruction number (age order: smaller = older).
+    ``mem_addr`` is the effective byte address for memory operations, else
+    ``None``.  ``wrong_path`` marks instructions the simulator fabricated
+    while fetching down a mispredicted path; they never appear in stored
+    traces.
+    """
+
+    __slots__ = ("seq", "trace_seq", "pc", "instr", "next_pc", "taken", "mem_addr",
+                 "wrong_path")
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        instr: Instruction,
+        next_pc: int,
+        taken: bool = False,
+        mem_addr: Optional[int] = None,
+        wrong_path: bool = False,
+        trace_seq: Optional[int] = None,
+    ):
+        self.seq = seq
+        # Position in the stored trace (age on the correct path); -1 for
+        # wrong-path instructions.  Defaults to seq for trace entries.
+        self.trace_seq = seq if trace_seq is None else trace_seq
+        self.pc = pc
+        self.instr = instr
+        self.next_pc = next_pc
+        self.taken = taken
+        self.mem_addr = mem_addr
+        self.wrong_path = wrong_path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        wp = " WP" if self.wrong_path else ""
+        return f"<#{self.seq}{wp} pc={self.pc} {self.instr.render()} -> {self.next_pc}>"
+
+
+@dataclass
+class Trace:
+    """A dynamic trace: program plus executed instruction stream."""
+
+    program: Program
+    entries: List[DynamicInstruction] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.program.name
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[DynamicInstruction]:
+        return iter(self.entries)
+
+    def __getitem__(self, index):
+        return self.entries[index]
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self.entries)
+
+    def branch_count(self) -> int:
+        return sum(1 for e in self.entries if e.instr.is_conditional_branch)
+
+    def memory_count(self) -> int:
+        return sum(1 for e in self.entries if e.instr.is_memory)
+
+    def summary(self) -> dict:
+        """Basic mix statistics, for workload characterization."""
+        total = len(self.entries) or 1
+        branches = self.branch_count()
+        taken = sum(1 for e in self.entries if e.instr.is_conditional_branch and e.taken)
+        return {
+            "name": self.name,
+            "instructions": len(self.entries),
+            "branches": branches,
+            "branch_ratio": branches / total,
+            "taken_ratio": taken / branches if branches else 0.0,
+            "memory_ratio": self.memory_count() / total,
+        }
+
+
+# -- binary serialization --------------------------------------------------
+
+_MAGIC = b"RTRC"
+_VERSION = 2
+_ENTRY = struct.Struct("<IIBQ")  # pc, next_pc, flags, mem_addr
+_FLAG_TAKEN = 1
+_FLAG_HAS_MEM = 2
+
+
+def write_trace(trace: Trace, path: str) -> None:
+    """Serialize *trace* to a ``.rtrace`` binary file."""
+    with open(path, "wb") as fh:
+        _write_trace_stream(trace, fh)
+
+
+def _write_trace_stream(trace: Trace, fh) -> None:
+    listing = disassemble(trace.program).encode()
+    data_blob = json.dumps(sorted(trace.program.data.items())).encode()
+    name = trace.name.encode()
+    fh.write(_MAGIC)
+    fh.write(struct.pack("<HIII", _VERSION, len(name), len(listing), len(data_blob)))
+    fh.write(struct.pack("<I", len(trace.entries)))
+    fh.write(name)
+    fh.write(listing)
+    fh.write(data_blob)
+    for e in trace.entries:
+        flags = (_FLAG_TAKEN if e.taken else 0) | (_FLAG_HAS_MEM if e.mem_addr is not None else 0)
+        fh.write(_ENTRY.pack(e.pc, e.next_pc, flags, e.mem_addr or 0))
+
+
+def read_trace(path: str) -> Trace:
+    """Deserialize a ``.rtrace`` file written by :func:`write_trace`."""
+    with open(path, "rb") as fh:
+        return _read_trace_stream(fh)
+
+
+def _read_trace_stream(fh) -> Trace:
+    magic = fh.read(4)
+    if magic != _MAGIC:
+        raise ValueError(f"not a trace file (magic {magic!r})")
+    version, name_len, listing_len, data_len = struct.unpack("<HIII", fh.read(14))
+    if version != _VERSION:
+        raise ValueError(f"unsupported trace version {version}")
+    (count,) = struct.unpack("<I", fh.read(4))
+    name = fh.read(name_len).decode()
+    listing = fh.read(listing_len).decode()
+    data_blob = fh.read(data_len).decode()
+    program = assemble(listing, name=name)
+    program.data.update({int(k): int(v) for k, v in json.loads(data_blob)})
+    entries: List[DynamicInstruction] = []
+    for seq in range(count):
+        pc, next_pc, flags, mem_addr = _ENTRY.unpack(fh.read(_ENTRY.size))
+        instr = program.at(pc)
+        if instr is None:
+            raise ValueError(f"trace entry {seq} references pc {pc} outside program")
+        entries.append(
+            DynamicInstruction(
+                seq=seq,
+                pc=pc,
+                instr=instr,
+                next_pc=next_pc,
+                taken=bool(flags & _FLAG_TAKEN),
+                mem_addr=mem_addr if flags & _FLAG_HAS_MEM else None,
+            )
+        )
+    return Trace(program=program, entries=entries, name=name)
+
+
+def trace_to_bytes(trace: Trace) -> bytes:
+    buf = io.BytesIO()
+    _write_trace_stream(trace, buf)
+    return buf.getvalue()
+
+
+def trace_from_bytes(blob: bytes) -> Trace:
+    return _read_trace_stream(io.BytesIO(blob))
+
+
+# -- JSONL serialization -----------------------------------------------------
+
+
+def write_trace_jsonl(trace: Trace, path: str) -> None:
+    """Human-inspectable JSONL: one header line, then one line per entry."""
+    with open(path, "w") as fh:
+        header = {
+            "name": trace.name,
+            "listing": disassemble(trace.program),
+            "data": sorted(trace.program.data.items()),
+        }
+        fh.write(json.dumps(header) + "\n")
+        for e in trace.entries:
+            fh.write(
+                json.dumps(
+                    {"pc": e.pc, "next_pc": e.next_pc, "taken": e.taken, "mem": e.mem_addr}
+                )
+                + "\n"
+            )
+
+
+def read_trace_jsonl(path: str) -> Trace:
+    with open(path) as fh:
+        header = json.loads(fh.readline())
+        program = assemble(header["listing"], name=header["name"])
+        program.data.update({int(k): int(v) for k, v in header["data"]})
+        entries = []
+        for seq, line in enumerate(fh):
+            rec = json.loads(line)
+            instr = program.at(rec["pc"])
+            if instr is None:
+                raise ValueError(f"entry {seq} references pc {rec['pc']} outside program")
+            entries.append(
+                DynamicInstruction(
+                    seq=seq,
+                    pc=rec["pc"],
+                    instr=instr,
+                    next_pc=rec["next_pc"],
+                    taken=rec["taken"],
+                    mem_addr=rec["mem"],
+                )
+            )
+    return Trace(program=program, entries=entries, name=header["name"])

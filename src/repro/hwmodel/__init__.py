@@ -1,0 +1,26 @@
+"""Hardware cost models: gate-level bulk-NER logic, McPAT-lite power/area."""
+
+from .bulklogic import (
+    BulkLogicSpec,
+    TimingReport,
+    build_bulk_ner_circuit,
+    evaluate_circuit,
+    reference_bulk_ner,
+    timing_report,
+)
+from .gates import Gate, GateKind, Netlist
+from .mcpat import (
+    CorePowerModel,
+    StructureModel,
+    area_delta,
+    consumer_counter_overhead,
+    power_delta,
+)
+
+__all__ = [
+    "Netlist", "Gate", "GateKind",
+    "BulkLogicSpec", "build_bulk_ner_circuit", "reference_bulk_ner",
+    "evaluate_circuit", "timing_report", "TimingReport",
+    "CorePowerModel", "StructureModel", "area_delta", "power_delta",
+    "consumer_counter_overhead",
+]

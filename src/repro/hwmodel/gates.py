@@ -1,0 +1,186 @@
+"""Minimal combinational gate-level netlist library.
+
+Used to build the ATR bulk no-early-release circuit exactly as a
+synthesis tool would see it (paper section 4.4 reports 42 logic levels
+and 2,960 gates from Yosys), evaluate it functionally against a reference
+Python implementation, and report gate count / logic depth / FO4 timing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class GateKind(enum.Enum):
+    INPUT = "input"
+    CONST = "const"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+
+
+#: Typical FO4-normalized delays per gate (Logical Effort, Sutherland et
+#: al. [30] — the paper assumes a NAND is ~1.4 FO4).
+_FO4_DELAY = {
+    GateKind.INPUT: 0.0,
+    GateKind.CONST: 0.0,
+    GateKind.NOT: 1.0,
+    GateKind.AND: 1.8,
+    GateKind.OR: 2.0,
+    GateKind.XOR: 2.2,
+    GateKind.NAND: 1.4,
+    GateKind.NOR: 1.6,
+}
+
+
+@dataclass
+class Gate:
+    index: int
+    kind: GateKind
+    inputs: tuple
+    name: Optional[str] = None
+    value: bool = False  # for CONST
+
+
+class Netlist:
+    """A DAG of 2-input gates (NOT is 1-input) built bottom-up."""
+
+    def __init__(self, name: str = "netlist"):
+        self.name = name
+        self.gates: List[Gate] = []
+        self.outputs: Dict[str, int] = {}
+        self._input_names: List[str] = []
+
+    # -- construction -----------------------------------------------------------
+    def _add(self, kind: GateKind, inputs: tuple, name: Optional[str] = None,
+             value: bool = False) -> int:
+        gate = Gate(len(self.gates), kind, inputs, name, value)
+        self.gates.append(gate)
+        return gate.index
+
+    def input(self, name: str) -> int:
+        self._input_names.append(name)
+        return self._add(GateKind.INPUT, (), name=name)
+
+    def const(self, value: bool) -> int:
+        return self._add(GateKind.CONST, (), value=value)
+
+    def not_(self, a: int) -> int:
+        return self._add(GateKind.NOT, (a,))
+
+    def and_(self, a: int, b: int) -> int:
+        return self._add(GateKind.AND, (a, b))
+
+    def or_(self, a: int, b: int) -> int:
+        return self._add(GateKind.OR, (a, b))
+
+    def xor(self, a: int, b: int) -> int:
+        return self._add(GateKind.XOR, (a, b))
+
+    def nand(self, a: int, b: int) -> int:
+        return self._add(GateKind.NAND, (a, b))
+
+    def nor(self, a: int, b: int) -> int:
+        return self._add(GateKind.NOR, (a, b))
+
+    def xnor(self, a: int, b: int) -> int:
+        return self.not_(self.xor(a, b))
+
+    def reduce_tree(self, op, signals: Sequence[int]) -> int:
+        """Balanced reduction tree (minimizes logic depth)."""
+        signals = list(signals)
+        if not signals:
+            raise ValueError("empty reduction")
+        while len(signals) > 1:
+            next_level = []
+            for i in range(0, len(signals) - 1, 2):
+                next_level.append(op(signals[i], signals[i + 1]))
+            if len(signals) % 2:
+                next_level.append(signals[-1])
+            signals = next_level
+        return signals[0]
+
+    def equals(self, a_bits: Sequence[int], b_bits: Sequence[int]) -> int:
+        """N-bit equality comparator."""
+        if len(a_bits) != len(b_bits):
+            raise ValueError("width mismatch")
+        bit_eq = [self.xnor(a, b) for a, b in zip(a_bits, b_bits)]
+        return self.reduce_tree(self.and_, bit_eq)
+
+    def output(self, name: str, signal: int) -> None:
+        self.outputs[name] = signal
+
+    # -- analysis -----------------------------------------------------------------
+    @property
+    def gate_count(self) -> int:
+        """Logic gates only (inputs/constants excluded)."""
+        return sum(
+            1 for g in self.gates if g.kind not in (GateKind.INPUT, GateKind.CONST)
+        )
+
+    def logic_depth(self) -> int:
+        """Longest input->output path in gate levels."""
+        depth = [0] * len(self.gates)
+        for gate in self.gates:  # construction order is topological
+            if gate.kind in (GateKind.INPUT, GateKind.CONST):
+                depth[gate.index] = 0
+            else:
+                depth[gate.index] = 1 + max(depth[i] for i in gate.inputs)
+        if not self.outputs:
+            return max(depth, default=0)
+        return max(depth[s] for s in self.outputs.values())
+
+    def fo4_delay(self) -> float:
+        """Critical-path delay in FO4 units (gate delays only)."""
+        arrival = [0.0] * len(self.gates)
+        for gate in self.gates:
+            if gate.kind in (GateKind.INPUT, GateKind.CONST):
+                arrival[gate.index] = 0.0
+            else:
+                arrival[gate.index] = _FO4_DELAY[gate.kind] + max(
+                    arrival[i] for i in gate.inputs
+                )
+        if not self.outputs:
+            return max(arrival, default=0.0)
+        return max(arrival[s] for s in self.outputs.values())
+
+    def evaluate(self, inputs: Dict[str, bool]) -> Dict[str, bool]:
+        """Functional simulation of the netlist."""
+        values = [False] * len(self.gates)
+        for gate in self.gates:
+            kind = gate.kind
+            if kind is GateKind.INPUT:
+                values[gate.index] = bool(inputs[gate.name])
+            elif kind is GateKind.CONST:
+                values[gate.index] = gate.value
+            elif kind is GateKind.NOT:
+                values[gate.index] = not values[gate.inputs[0]]
+            else:
+                a = values[gate.inputs[0]]
+                b = values[gate.inputs[1]]
+                values[gate.index] = {
+                    GateKind.AND: a and b,
+                    GateKind.OR: a or b,
+                    GateKind.XOR: a != b,
+                    GateKind.NAND: not (a and b),
+                    GateKind.NOR: not (a or b),
+                }[kind]
+        return {name: values[s] for name, s in self.outputs.items()}
+
+    def stats(self) -> Dict[str, float]:
+        by_kind: Dict[str, int] = {}
+        for gate in self.gates:
+            if gate.kind in (GateKind.INPUT, GateKind.CONST):
+                continue
+            by_kind[gate.kind.value] = by_kind.get(gate.kind.value, 0) + 1
+        return {
+            "gates": self.gate_count,
+            "depth": self.logic_depth(),
+            "fo4": self.fo4_delay(),
+            **by_kind,
+        }

@@ -1,0 +1,161 @@
+"""Text assembler for the reproduction ISA.
+
+Grammar (one statement per line, ``;`` or ``#`` starts a comment)::
+
+    label:                      ; define a label
+    .word  <addr> <value>       ; initial data image entry
+    add    r1, r2, r3           ; dest first, then sources
+    movi   r1, 42
+    ld     r1, r2, 8            ; r1 = mem[r2 + 8]
+    st     r1, r2, 8            ; mem[r2 + 8] = r1
+    cmp    r1, r2               ; writes flags
+    bne    loop                 ; label or absolute @pc
+    jr     r4
+    halt
+
+The assembler is the inverse of :meth:`Instruction.render` for every opcode
+and is used by tests for round-tripping and by users who prefer text kernels
+over the builder API.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .opcodes import MNEMONICS, Opcode
+from .program import Program, ProgramBuilder
+from .registers import parse_reg
+
+
+class AssemblyError(ValueError):
+    """Raised on a malformed assembly line, with line-number context."""
+
+    def __init__(self, lineno: int, line: str, reason: str):
+        super().__init__(f"line {lineno}: {reason}: {line.strip()!r}")
+        self.lineno = lineno
+        self.reason = reason
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [op.strip() for op in rest.split(",")]
+
+
+def _parse_int(text: str) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise ValueError(f"not an integer: {text!r}") from None
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble *source* text into a :class:`Program`."""
+    builder = ProgramBuilder(name=name)
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        try:
+            _assemble_line(builder, line)
+        except ValueError as exc:
+            raise AssemblyError(lineno, raw, str(exc)) from None
+    return builder.build()
+
+
+def _branch_target(text: str):
+    if text.startswith("@"):
+        return _parse_int(text[1:])
+    return text
+
+
+def _assemble_line(b: ProgramBuilder, line: str) -> None:
+    if line.endswith(":"):
+        b.label(line[:-1].strip())
+        return
+    head, _, rest = line.partition(" ")
+    mnemonic = head.lower()
+    ops = _split_operands(rest)
+
+    if mnemonic == ".word":
+        parts = rest.split()
+        if len(parts) != 2:
+            raise ValueError(".word takes <addr> <value>")
+        b.word(_parse_int(parts[0]), _parse_int(parts[1]))
+        return
+
+    if mnemonic not in MNEMONICS:
+        raise ValueError(f"unknown mnemonic {mnemonic!r}")
+    opcode = MNEMONICS[mnemonic]
+
+    three_reg = {
+        Opcode.ADD: b.add, Opcode.SUB: b.sub, Opcode.AND: b.and_,
+        Opcode.OR: b.or_, Opcode.XOR: b.xor, Opcode.MUL: b.mul,
+        Opcode.DIV: b.div, Opcode.MOD: b.mod, Opcode.VADD: b.vadd,
+        Opcode.VSUB: b.vsub, Opcode.VMUL: b.vmul, Opcode.VDIV: b.vdiv,
+        Opcode.SELECT: b.select,
+    }
+    two_reg = {
+        Opcode.NOT: b.not_, Opcode.NEG: b.neg, Opcode.MOV: b.mov,
+        Opcode.CMP: b.cmp, Opcode.TEST: b.test,
+        Opcode.VBROADCAST: b.vbroadcast, Opcode.VREDUCE: b.vreduce,
+    }
+    branches = {
+        Opcode.BEQ: b.beq, Opcode.BNE: b.bne, Opcode.BLT: b.blt,
+        Opcode.BGE: b.bge, Opcode.JMP: b.jmp, Opcode.CALL: b.call,
+    }
+    reg_imm = {Opcode.SHL: b.shl, Opcode.SHR: b.shr, Opcode.LEA: b.lea}
+    mem_loads = {Opcode.LD: b.ld, Opcode.VLD: b.vld}
+    mem_stores = {Opcode.ST: b.st, Opcode.VST: b.vst}
+
+    if opcode in three_reg:
+        if len(ops) != 3:
+            raise ValueError(f"{mnemonic} takes 3 registers")
+        three_reg[opcode](parse_reg(ops[0]), parse_reg(ops[1]), parse_reg(ops[2]))
+    elif opcode is Opcode.VFMA:
+        if len(ops) != 4:
+            raise ValueError("vfma takes 4 registers")
+        b.vfma(*(parse_reg(op) for op in ops))
+    elif opcode in two_reg:
+        if len(ops) != 2:
+            raise ValueError(f"{mnemonic} takes 2 registers")
+        two_reg[opcode](parse_reg(ops[0]), parse_reg(ops[1]))
+    elif opcode is Opcode.MOVI:
+        if len(ops) != 2:
+            raise ValueError("movi takes register, immediate")
+        b.movi(parse_reg(ops[0]), _parse_int(ops[1]))
+    elif opcode in reg_imm:
+        if len(ops) != 3:
+            raise ValueError(f"{mnemonic} takes register, register, immediate")
+        reg_imm[opcode](parse_reg(ops[0]), parse_reg(ops[1]), _parse_int(ops[2]))
+    elif opcode in mem_loads or opcode in mem_stores:
+        if len(ops) not in (2, 3):
+            raise ValueError(f"{mnemonic} takes reg, base[, disp]")
+        disp = _parse_int(ops[2]) if len(ops) == 3 else 0
+        table = mem_loads if opcode in mem_loads else mem_stores
+        table[opcode](parse_reg(ops[0]), parse_reg(ops[1]), disp)
+    elif opcode in branches:
+        if len(ops) != 1:
+            raise ValueError(f"{mnemonic} takes a target")
+        branches[opcode](_branch_target(ops[0]))
+    elif opcode is Opcode.JR:
+        if len(ops) != 1:
+            raise ValueError("jr takes a register")
+        b.jr(parse_reg(ops[0]))
+    elif opcode in (Opcode.RET, Opcode.NOP, Opcode.HALT):
+        if ops:
+            raise ValueError(f"{mnemonic} takes no operands")
+        {Opcode.RET: b.ret, Opcode.NOP: b.nop, Opcode.HALT: b.halt}[opcode]()
+    else:  # pragma: no cover - exhaustive above
+        raise ValueError(f"unhandled opcode {opcode}")
+
+
+def disassemble(program: Program) -> str:
+    """Round-trippable listing of *program* (see :func:`assemble`)."""
+    lines: List[str] = []
+    for instr in program.instructions:
+        if instr.label:
+            lines.append(f"{instr.label}:")
+        lines.append(f"    {instr.render()}")
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Static instruction representation.
+
+An :class:`Instruction` is one slot of a :class:`~repro.isa.program.Program`.
+Program counters are instruction indices (the machine is word-addressed for
+code); ``I_BYTES`` converts a PC into a byte address for the instruction
+cache and fetch-target logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .opcodes import (
+    Opcode,
+    OpClass,
+    breaks_atomic_region,
+    breaks_region_control,
+    is_conditional_branch,
+    is_control,
+    is_indirect,
+    is_load,
+    is_memory,
+    is_store,
+    may_except,
+    op_class,
+)
+from .registers import ArchReg
+
+#: Nominal instruction size in bytes (for icache / fetch-target addressing).
+I_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A static instruction.
+
+    Attributes:
+        opcode: The operation.
+        dests: Architectural destination registers (0..2 entries; CMP/TEST
+            write FLAGS, CALL writes the link register).
+        srcs: Architectural source registers in operand order.
+        imm: Immediate operand (also the displacement of memory operands).
+        target: Static branch/jump/call target PC, if direct control flow.
+        label: Optional label naming this instruction's address.
+    """
+
+    opcode: Opcode
+    dests: Tuple[ArchReg, ...] = ()
+    srcs: Tuple[ArchReg, ...] = ()
+    imm: int = 0
+    target: Optional[int] = None
+    label: Optional[str] = None
+    comment: str = field(default="", compare=False)
+
+    # -- classification ----------------------------------------------------
+    @property
+    def op_class(self) -> OpClass:
+        return op_class(self.opcode)
+
+    @property
+    def is_control(self) -> bool:
+        return is_control(self.opcode)
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return is_conditional_branch(self.opcode)
+
+    @property
+    def is_indirect(self) -> bool:
+        return is_indirect(self.opcode)
+
+    @property
+    def is_memory(self) -> bool:
+        return is_memory(self.opcode)
+
+    @property
+    def is_load(self) -> bool:
+        return is_load(self.opcode)
+
+    @property
+    def is_store(self) -> bool:
+        return is_store(self.opcode)
+
+    @property
+    def may_except(self) -> bool:
+        return may_except(self.opcode)
+
+    @property
+    def breaks_region_control(self) -> bool:
+        return breaks_region_control(self.opcode)
+
+    @property
+    def breaks_atomic_region(self) -> bool:
+        """True if renaming this instruction must bulk-set no-early-release
+        (paper section 4.2.2)."""
+        return breaks_atomic_region(self.opcode)
+
+    @property
+    def is_halt(self) -> bool:
+        return self.opcode is Opcode.HALT
+
+    # -- display -----------------------------------------------------------
+    def render(self) -> str:
+        """Assembly text for this instruction.
+
+        Implicit operands (the FLAGS destination of CMP/TEST, the FLAGS
+        source of branches and SELECT, the link register of CALL/RET) are
+        omitted so the text round-trips through the assembler.
+        """
+        op = self.opcode
+        if op in (Opcode.CMP, Opcode.TEST):
+            operands = [s.name for s in self.srcs]
+        elif op is Opcode.SELECT:
+            operands = [self.dests[0].name] + [s.name for s in self.srcs[1:]]
+        elif op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+                    Opcode.JMP, Opcode.CALL):
+            operands = [f"@{self.target}"]
+        elif op is Opcode.RET:
+            operands = []
+        elif op is Opcode.JR:
+            operands = [self.srcs[0].name]
+        else:
+            operands = [d.name for d in self.dests] + [s.name for s in self.srcs]
+            if op in (Opcode.MOVI, Opcode.LEA, Opcode.SHL, Opcode.SHR) or self.is_memory:
+                operands.append(str(self.imm))
+        if operands:
+            return f"{op.value} {', '.join(operands)}"
+        return op.value
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def validate_instruction(instr: Instruction) -> None:
+    """Check basic operand-shape invariants; raise ValueError on violation.
+
+    The builder and assembler construct well-formed instructions, but traces
+    may be deserialized from external files, so this is exposed publicly.
+    """
+    opcode = instr.opcode
+    if instr.is_control and not instr.is_indirect and opcode is not Opcode.HALT:
+        if instr.target is None:
+            raise ValueError(f"direct control-flow without target: {instr}")
+    if instr.is_indirect and not instr.srcs:
+        raise ValueError(f"indirect control-flow without source register: {instr}")
+    if instr.is_load and not instr.dests:
+        raise ValueError(f"load without destination: {instr}")
+    if instr.is_store and instr.dests:
+        raise ValueError(f"store with destination: {instr}")
+    if opcode in (Opcode.NOP, Opcode.HALT) and (instr.dests or instr.srcs):
+        raise ValueError(f"{opcode.value} takes no operands")

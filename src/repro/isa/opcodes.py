@@ -1,0 +1,228 @@
+"""Opcode taxonomy of the reproduction ISA.
+
+The classification here drives everything ATR cares about:
+
+* **conditional branches / indirect jumps** end atomic regions because a
+  misprediction flushes only the instructions *younger* than the branch;
+* **exception-causing instructions** (loads, stores, integer/vector divide)
+  end atomic regions because a precise exception must flush younger
+  instructions while committing older ones;
+* direct unconditional jumps and calls do *not* end regions — they cannot
+  mispredict once the BTB knows them and cannot fault in our machine model
+  (the paper's regions likewise only exclude conditional branches, indirect
+  jumps, and exception-causing instructions).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Execution class; selects functional unit and latency."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"  # conditional
+    JUMP = "jump"  # direct unconditional
+    JUMP_INDIRECT = "jump_indirect"
+    CALL = "call"  # direct call
+    RETURN = "return"  # indirect via return address
+    VEC_ALU = "vec_alu"
+    VEC_MUL = "vec_mul"
+    VEC_DIV = "vec_div"
+    VEC_LOAD = "vec_load"
+    VEC_STORE = "vec_store"
+    NOP = "nop"
+    HALT = "halt"
+
+
+class Opcode(enum.Enum):
+    """Static opcodes.  The value is the assembly mnemonic."""
+
+    # Integer ALU
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    NOT = "not"
+    NEG = "neg"
+    MOV = "mov"
+    MOVI = "movi"
+    LEA = "lea"  # add with immediate, no flags (paper Fig. 5 uses LEA)
+    CMP = "cmp"  # writes FLAGS only
+    TEST = "test"  # writes FLAGS only
+    SELECT = "select"  # conditional move, reads FLAGS
+
+    # Integer multiply / divide
+    MUL = "mul"
+    DIV = "div"  # exception-causing (divide by zero)
+    MOD = "mod"  # exception-causing
+
+    # Memory
+    LD = "ld"
+    ST = "st"
+
+    # Control flow
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JMP = "jmp"
+    JR = "jr"  # indirect jump through register
+    CALL = "call"
+    RET = "ret"
+
+    # Vector
+    VADD = "vadd"
+    VSUB = "vsub"
+    VMUL = "vmul"
+    VFMA = "vfma"
+    VDIV = "vdiv"
+    VBROADCAST = "vbroadcast"
+    VLD = "vld"
+    VST = "vst"
+    VREDUCE = "vreduce"  # horizontal add into an int register
+
+    # Misc
+    NOP = "nop"
+    HALT = "halt"
+
+
+_OP_CLASS = {
+    Opcode.ADD: OpClass.INT_ALU,
+    Opcode.SUB: OpClass.INT_ALU,
+    Opcode.AND: OpClass.INT_ALU,
+    Opcode.OR: OpClass.INT_ALU,
+    Opcode.XOR: OpClass.INT_ALU,
+    Opcode.SHL: OpClass.INT_ALU,
+    Opcode.SHR: OpClass.INT_ALU,
+    Opcode.NOT: OpClass.INT_ALU,
+    Opcode.NEG: OpClass.INT_ALU,
+    Opcode.MOV: OpClass.INT_ALU,
+    Opcode.MOVI: OpClass.INT_ALU,
+    Opcode.LEA: OpClass.INT_ALU,
+    Opcode.CMP: OpClass.INT_ALU,
+    Opcode.TEST: OpClass.INT_ALU,
+    Opcode.SELECT: OpClass.INT_ALU,
+    Opcode.MUL: OpClass.INT_MUL,
+    Opcode.DIV: OpClass.INT_DIV,
+    Opcode.MOD: OpClass.INT_DIV,
+    Opcode.LD: OpClass.LOAD,
+    Opcode.ST: OpClass.STORE,
+    Opcode.BEQ: OpClass.BRANCH,
+    Opcode.BNE: OpClass.BRANCH,
+    Opcode.BLT: OpClass.BRANCH,
+    Opcode.BGE: OpClass.BRANCH,
+    Opcode.JMP: OpClass.JUMP,
+    Opcode.JR: OpClass.JUMP_INDIRECT,
+    Opcode.CALL: OpClass.CALL,
+    Opcode.RET: OpClass.RETURN,
+    Opcode.VADD: OpClass.VEC_ALU,
+    Opcode.VSUB: OpClass.VEC_ALU,
+    Opcode.VMUL: OpClass.VEC_MUL,
+    Opcode.VFMA: OpClass.VEC_MUL,
+    Opcode.VDIV: OpClass.VEC_DIV,
+    Opcode.VBROADCAST: OpClass.VEC_ALU,
+    Opcode.VLD: OpClass.VEC_LOAD,
+    Opcode.VST: OpClass.VEC_STORE,
+    Opcode.VREDUCE: OpClass.VEC_ALU,
+    Opcode.NOP: OpClass.NOP,
+    Opcode.HALT: OpClass.HALT,
+}
+
+_CONTROL_CLASSES = frozenset(
+    {
+        OpClass.BRANCH,
+        OpClass.JUMP,
+        OpClass.JUMP_INDIRECT,
+        OpClass.CALL,
+        OpClass.RETURN,
+    }
+)
+
+#: Classes that end an atomic region because a misprediction may flush the
+#: redefining instruction but not the renaming instruction.
+_REGION_BREAKING_CONTROL = frozenset({OpClass.BRANCH, OpClass.JUMP_INDIRECT, OpClass.RETURN})
+
+#: Classes that may raise a precise exception (page fault, divide by zero).
+_EXCEPTING_CLASSES = frozenset(
+    {
+        OpClass.LOAD,
+        OpClass.STORE,
+        OpClass.INT_DIV,
+        OpClass.VEC_DIV,
+        OpClass.VEC_LOAD,
+        OpClass.VEC_STORE,
+    }
+)
+
+_MEMORY_CLASSES = frozenset(
+    {OpClass.LOAD, OpClass.STORE, OpClass.VEC_LOAD, OpClass.VEC_STORE}
+)
+
+
+def op_class(opcode: Opcode) -> OpClass:
+    """Execution class of *opcode*."""
+    return _OP_CLASS[opcode]
+
+
+def is_control(opcode: Opcode) -> bool:
+    """True for every control-flow instruction (cond or not)."""
+    return _OP_CLASS[opcode] in _CONTROL_CLASSES
+
+
+def is_conditional_branch(opcode: Opcode) -> bool:
+    return _OP_CLASS[opcode] is OpClass.BRANCH
+
+
+def is_indirect(opcode: Opcode) -> bool:
+    """True for indirect control flow (target comes from a register)."""
+    return _OP_CLASS[opcode] in (OpClass.JUMP_INDIRECT, OpClass.RETURN)
+
+
+def breaks_region_control(opcode: Opcode) -> bool:
+    """True if *opcode* ends a *non-branch* region (paper section 3.2):
+    conditional branches and indirect jumps (incl. returns)."""
+    return _OP_CLASS[opcode] in _REGION_BREAKING_CONTROL
+
+
+def may_except(opcode: Opcode) -> bool:
+    """True if *opcode* ends a *non-except* region: memory ops and divides."""
+    return _OP_CLASS[opcode] in _EXCEPTING_CLASSES
+
+
+def breaks_atomic_region(opcode: Opcode) -> bool:
+    """True if *opcode* ends an *atomic* region (either reason)."""
+    return breaks_region_control(opcode) or may_except(opcode)
+
+
+def is_memory(opcode: Opcode) -> bool:
+    return _OP_CLASS[opcode] in _MEMORY_CLASSES
+
+
+def is_load(opcode: Opcode) -> bool:
+    return _OP_CLASS[opcode] in (OpClass.LOAD, OpClass.VEC_LOAD)
+
+
+def is_store(opcode: Opcode) -> bool:
+    return _OP_CLASS[opcode] in (OpClass.STORE, OpClass.VEC_STORE)
+
+
+def is_vector(opcode: Opcode) -> bool:
+    return _OP_CLASS[opcode] in (
+        OpClass.VEC_ALU,
+        OpClass.VEC_MUL,
+        OpClass.VEC_DIV,
+        OpClass.VEC_LOAD,
+        OpClass.VEC_STORE,
+    )
+
+
+MNEMONICS = {op.value: op for op in Opcode}

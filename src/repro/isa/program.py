@@ -1,0 +1,286 @@
+"""Programs and the fluent builder API used by the workload kernels.
+
+A :class:`Program` is an immutable sequence of static instructions plus a
+label table and an initial data image.  :class:`ProgramBuilder` offers one
+method per opcode with forward-label support, so kernels read close to
+assembly::
+
+    b = ProgramBuilder()
+    b.movi(r(0), 0)
+    with b.loop("head"):
+        ...
+    prog = b.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .instruction import Instruction, validate_instruction
+from .opcodes import Opcode
+from .registers import FLAGS, ArchReg, ireg
+
+#: Link register written by CALL and read by RET.
+LINK_REG = ireg(15)
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable program: code, labels, and an initial memory image."""
+
+    instructions: Tuple[Instruction, ...]
+    labels: Dict[str, int] = field(default_factory=dict)
+    data: Dict[int, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def at(self, pc: int) -> Optional[Instruction]:
+        """The instruction at *pc*, or ``None`` if outside the image.
+
+        Wrong-path fetch may run past the program end; callers treat
+        ``None`` as an implicit HALT-like fetch stall.
+        """
+        if 0 <= pc < len(self.instructions):
+            return self.instructions[pc]
+        return None
+
+    def label_of(self, pc: int) -> Optional[str]:
+        instr = self.at(pc)
+        return instr.label if instr is not None else None
+
+    def disassemble(self) -> str:
+        """Full program listing with PCs and labels."""
+        lines = []
+        for pc, instr in enumerate(self.instructions):
+            if instr.label:
+                lines.append(f"{instr.label}:")
+            lines.append(f"  {pc:5d}  {instr.render()}")
+        return "\n".join(lines)
+
+
+class _ForwardLabel:
+    """Placeholder target resolved at :meth:`ProgramBuilder.build`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class ProgramBuilder:
+    """Incrementally builds a :class:`Program`.
+
+    Labels may be referenced before they are defined; they are resolved at
+    :meth:`build` time.  Every emit method returns the PC of the emitted
+    instruction.
+    """
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._pending_label: Optional[str] = None
+        self._data: Dict[int, int] = {}
+
+    # -- structure ----------------------------------------------------------
+    @property
+    def pc(self) -> int:
+        """PC of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    def label(self, name: str) -> int:
+        """Define *name* at the current PC."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = self.pc
+        self._pending_label = name
+        return self.pc
+
+    def word(self, addr: int, value: int) -> None:
+        """Place a 64-bit word in the initial data image."""
+        self._data[addr] = value
+
+    def words(self, addr: int, values: Sequence[int], stride: int = 8) -> None:
+        """Place consecutive words starting at *addr*."""
+        for i, value in enumerate(values):
+            self._data[addr + i * stride] = value
+
+    def _emit(self, opcode: Opcode, dests=(), srcs=(), imm=0, target=None) -> int:
+        instr = Instruction(
+            opcode=opcode,
+            dests=tuple(dests),
+            srcs=tuple(srcs),
+            imm=imm,
+            target=target,
+            label=self._pending_label,
+        )
+        self._pending_label = None
+        if not isinstance(target, _ForwardLabel):
+            validate_instruction(instr)
+        self._instructions.append(instr)
+        return len(self._instructions) - 1
+
+    def _target(self, where) -> object:
+        """Resolve *where* (label name or PC) now if possible."""
+        if isinstance(where, str):
+            if where in self._labels:
+                return self._labels[where]
+            return _ForwardLabel(where)
+        return int(where)
+
+    # -- integer ALU ----------------------------------------------------------
+    def add(self, d: ArchReg, a: ArchReg, b: ArchReg) -> int:
+        return self._emit(Opcode.ADD, [d], [a, b])
+
+    def sub(self, d: ArchReg, a: ArchReg, b: ArchReg) -> int:
+        return self._emit(Opcode.SUB, [d], [a, b])
+
+    def and_(self, d: ArchReg, a: ArchReg, b: ArchReg) -> int:
+        return self._emit(Opcode.AND, [d], [a, b])
+
+    def or_(self, d: ArchReg, a: ArchReg, b: ArchReg) -> int:
+        return self._emit(Opcode.OR, [d], [a, b])
+
+    def xor(self, d: ArchReg, a: ArchReg, b: ArchReg) -> int:
+        return self._emit(Opcode.XOR, [d], [a, b])
+
+    def shl(self, d: ArchReg, a: ArchReg, amount: int) -> int:
+        return self._emit(Opcode.SHL, [d], [a], imm=amount)
+
+    def shr(self, d: ArchReg, a: ArchReg, amount: int) -> int:
+        return self._emit(Opcode.SHR, [d], [a], imm=amount)
+
+    def not_(self, d: ArchReg, a: ArchReg) -> int:
+        return self._emit(Opcode.NOT, [d], [a])
+
+    def neg(self, d: ArchReg, a: ArchReg) -> int:
+        return self._emit(Opcode.NEG, [d], [a])
+
+    def mov(self, d: ArchReg, a: ArchReg) -> int:
+        return self._emit(Opcode.MOV, [d], [a])
+
+    def movi(self, d: ArchReg, value: int) -> int:
+        return self._emit(Opcode.MOVI, [d], [], imm=value)
+
+    def lea(self, d: ArchReg, a: ArchReg, disp: int) -> int:
+        return self._emit(Opcode.LEA, [d], [a], imm=disp)
+
+    def cmp(self, a: ArchReg, b: ArchReg) -> int:
+        return self._emit(Opcode.CMP, [FLAGS], [a, b])
+
+    def test(self, a: ArchReg, b: ArchReg) -> int:
+        return self._emit(Opcode.TEST, [FLAGS], [a, b])
+
+    def select(self, d: ArchReg, a: ArchReg, b: ArchReg) -> int:
+        """d = a if FLAGS says equal/zero else b."""
+        return self._emit(Opcode.SELECT, [d], [FLAGS, a, b])
+
+    def mul(self, d: ArchReg, a: ArchReg, b: ArchReg) -> int:
+        return self._emit(Opcode.MUL, [d], [a, b])
+
+    def div(self, d: ArchReg, a: ArchReg, b: ArchReg) -> int:
+        return self._emit(Opcode.DIV, [d], [a, b])
+
+    def mod(self, d: ArchReg, a: ArchReg, b: ArchReg) -> int:
+        return self._emit(Opcode.MOD, [d], [a, b])
+
+    # -- memory -------------------------------------------------------------
+    def ld(self, d: ArchReg, base: ArchReg, disp: int = 0) -> int:
+        return self._emit(Opcode.LD, [d], [base], imm=disp)
+
+    def st(self, value: ArchReg, base: ArchReg, disp: int = 0) -> int:
+        return self._emit(Opcode.ST, [], [value, base], imm=disp)
+
+    # -- control flow ---------------------------------------------------------
+    def beq(self, where) -> int:
+        return self._emit(Opcode.BEQ, [], [FLAGS], target=self._target(where))
+
+    def bne(self, where) -> int:
+        return self._emit(Opcode.BNE, [], [FLAGS], target=self._target(where))
+
+    def blt(self, where) -> int:
+        return self._emit(Opcode.BLT, [], [FLAGS], target=self._target(where))
+
+    def bge(self, where) -> int:
+        return self._emit(Opcode.BGE, [], [FLAGS], target=self._target(where))
+
+    def jmp(self, where) -> int:
+        return self._emit(Opcode.JMP, target=self._target(where))
+
+    def jr(self, reg: ArchReg) -> int:
+        return self._emit(Opcode.JR, [], [reg])
+
+    def call(self, where) -> int:
+        return self._emit(Opcode.CALL, [LINK_REG], [], target=self._target(where))
+
+    def ret(self) -> int:
+        return self._emit(Opcode.RET, [], [LINK_REG])
+
+    # -- vector ---------------------------------------------------------------
+    def vadd(self, d: ArchReg, a: ArchReg, b: ArchReg) -> int:
+        return self._emit(Opcode.VADD, [d], [a, b])
+
+    def vsub(self, d: ArchReg, a: ArchReg, b: ArchReg) -> int:
+        return self._emit(Opcode.VSUB, [d], [a, b])
+
+    def vmul(self, d: ArchReg, a: ArchReg, b: ArchReg) -> int:
+        return self._emit(Opcode.VMUL, [d], [a, b])
+
+    def vfma(self, d: ArchReg, a: ArchReg, b: ArchReg, c: ArchReg) -> int:
+        return self._emit(Opcode.VFMA, [d], [a, b, c])
+
+    def vdiv(self, d: ArchReg, a: ArchReg, b: ArchReg) -> int:
+        return self._emit(Opcode.VDIV, [d], [a, b])
+
+    def vbroadcast(self, d: ArchReg, a: ArchReg) -> int:
+        return self._emit(Opcode.VBROADCAST, [d], [a])
+
+    def vld(self, d: ArchReg, base: ArchReg, disp: int = 0) -> int:
+        return self._emit(Opcode.VLD, [d], [base], imm=disp)
+
+    def vst(self, value: ArchReg, base: ArchReg, disp: int = 0) -> int:
+        return self._emit(Opcode.VST, [], [value, base], imm=disp)
+
+    def vreduce(self, d: ArchReg, a: ArchReg) -> int:
+        return self._emit(Opcode.VREDUCE, [d], [a])
+
+    # -- misc -----------------------------------------------------------------
+    def nop(self) -> int:
+        return self._emit(Opcode.NOP)
+
+    def halt(self) -> int:
+        return self._emit(Opcode.HALT)
+
+    # -- finalization -----------------------------------------------------------
+    def build(self) -> Program:
+        """Resolve forward labels and freeze into a :class:`Program`."""
+        resolved: List[Instruction] = []
+        for pc, instr in enumerate(self._instructions):
+            target = instr.target
+            if isinstance(target, _ForwardLabel):
+                if target.name not in self._labels:
+                    raise ValueError(f"undefined label {target.name!r} at pc {pc}")
+                instr = Instruction(
+                    opcode=instr.opcode,
+                    dests=instr.dests,
+                    srcs=instr.srcs,
+                    imm=instr.imm,
+                    target=self._labels[target.name],
+                    label=instr.label,
+                )
+            validate_instruction(instr)
+            resolved.append(instr)
+        if not resolved or not resolved[-1].is_halt:
+            resolved.append(Instruction(Opcode.HALT))
+        return Program(
+            instructions=tuple(resolved),
+            labels=dict(self._labels),
+            data=dict(self._data),
+            name=self.name,
+        )

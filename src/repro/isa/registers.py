@@ -1,0 +1,123 @@
+"""Architectural register model.
+
+The reproduction ISA mirrors the register structure the paper assumes for a
+modern x86 core: a scalar integer register file (16 general-purpose
+registers), a dedicated FLAGS register that is renamed like any other
+destination (the paper's omnetpp example writes ``ZPS``), and a separate
+vector register file (16 registers) renamed through its own SRT and physical
+register table (paper section 4.2.1 assumes split scalar/vector files).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Number of general-purpose integer registers.
+NUM_INT_REGS = 16
+#: Number of vector registers.
+NUM_VEC_REGS = 16
+#: Number of lanes in a vector register (256-bit of 64-bit lanes).
+VEC_LANES = 4
+
+
+class RegClass(enum.Enum):
+    """Register class; each class is renamed through its own SRT and PRF.
+
+    ``FLAGS`` shares the integer physical register file (as on Intel cores,
+    where the flags result is carried with the integer ptag), so scheme
+    logic only distinguishes ``INT``-file and ``VEC``-file registers.
+    """
+
+    INT = "int"
+    VEC = "vec"
+    FLAGS = "flags"
+
+    @property
+    def file(self) -> "RegClass":
+        """The physical register file this class allocates from."""
+        return RegClass.INT if self is RegClass.FLAGS else self
+
+
+@dataclass(frozen=True, order=True)
+class ArchReg:
+    """An architectural register: a (class, index) pair.
+
+    Instances are interned via the module-level constructors (:func:`ireg`,
+    :func:`vreg`, :data:`FLAGS`), so identity comparison is safe, but
+    equality is structural.
+    """
+
+    cls: RegClass
+    index: int
+
+    def __post_init__(self) -> None:
+        limit = {
+            RegClass.INT: NUM_INT_REGS,
+            RegClass.VEC: NUM_VEC_REGS,
+            RegClass.FLAGS: 1,
+        }[self.cls]
+        if not 0 <= self.index < limit:
+            raise ValueError(f"register index {self.index} out of range for {self.cls}")
+
+    @property
+    def name(self) -> str:
+        if self.cls is RegClass.FLAGS:
+            return "flags"
+        prefix = "r" if self.cls is RegClass.INT else "v"
+        return f"{prefix}{self.index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+    @property
+    def srt_slot(self) -> int:
+        """Flat slot index within the SRT of this register's file.
+
+        The integer-file SRT holds the 16 GPRs followed by FLAGS
+        (slot 16); the vector-file SRT holds the 16 vector registers.
+        """
+        if self.cls is RegClass.FLAGS:
+            return NUM_INT_REGS
+        return self.index
+
+
+def ireg(index: int) -> ArchReg:
+    """Integer GPR ``r<index>``."""
+    return _INT_REGS[index]
+
+
+def vreg(index: int) -> ArchReg:
+    """Vector register ``v<index>``."""
+    return _VEC_REGS[index]
+
+
+_INT_REGS = tuple(ArchReg(RegClass.INT, i) for i in range(NUM_INT_REGS))
+_VEC_REGS = tuple(ArchReg(RegClass.VEC, i) for i in range(NUM_VEC_REGS))
+
+#: The single FLAGS register (paper: ``ZPS``).
+FLAGS = ArchReg(RegClass.FLAGS, 0)
+
+#: Number of SRT slots in the integer file (GPRs + FLAGS).
+INT_SRT_SLOTS = NUM_INT_REGS + 1
+#: Number of SRT slots in the vector file.
+VEC_SRT_SLOTS = NUM_VEC_REGS
+
+
+def parse_reg(name: str) -> ArchReg:
+    """Parse a register name (``r3``, ``v11``, ``flags``) into an ArchReg."""
+    name = name.strip().lower()
+    if name == "flags":
+        return FLAGS
+    if len(name) >= 2 and name[0] in ("r", "v") and name[1:].isdigit():
+        index = int(name[1:])
+        try:
+            return ireg(index) if name[0] == "r" else vreg(index)
+        except IndexError:
+            raise ValueError(f"register index out of range: {name!r}") from None
+    raise ValueError(f"not a register name: {name!r}")
+
+
+def all_arch_regs() -> tuple:
+    """All architectural registers, in SRT order (int GPRs, flags, vec)."""
+    return _INT_REGS + (FLAGS,) + _VEC_REGS

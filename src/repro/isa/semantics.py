@@ -1,0 +1,114 @@
+"""Pure value semantics of the ISA, shared by the functional emulator and
+the cycle simulator's value-execution mode.
+
+Keeping these as pure functions of (instruction, source values) lets the
+out-of-order pipeline compute results through *physical* registers: if a
+release scheme ever frees a register too early and it gets reallocated
+while still live, the corrupted value propagates to the final
+architectural state and the golden-model comparison fails — the strongest
+possible end-to-end check on early-release correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from .instruction import Instruction
+from .opcodes import Opcode
+from .registers import VEC_LANES
+
+MASK64 = (1 << 64) - 1
+FLAG_ZERO = 1
+FLAG_SIGN = 2
+
+Value = Union[int, Tuple[int, ...]]
+
+
+def to_signed(value: int) -> int:
+    value &= MASK64
+    return value - (1 << 64) if value >> 63 else value
+
+
+def flags_for(value: int) -> int:
+    """FLAGS encoding of a signed comparison/test result."""
+    flags = 0
+    if value == 0:
+        flags |= FLAG_ZERO
+    if value < 0:
+        flags |= FLAG_SIGN
+    return flags
+
+
+def branch_taken(opcode: Opcode, flags: int) -> bool:
+    """Direction of a conditional branch given the FLAGS source value."""
+    if opcode is Opcode.BEQ:
+        return bool(flags & FLAG_ZERO)
+    if opcode is Opcode.BNE:
+        return not flags & FLAG_ZERO
+    if opcode is Opcode.BLT:
+        return bool(flags & FLAG_SIGN)
+    if opcode is Opcode.BGE:
+        return not flags & FLAG_SIGN
+    raise ValueError(f"not a conditional branch: {opcode}")
+
+
+def compute(instr: Instruction, srcs: Sequence[Value]) -> Value:
+    """Result value of a non-memory, value-producing instruction.
+
+    *srcs* are the source operand values in operand order (FLAGS included
+    where it is an operand).  Memory operations and control flow are the
+    caller's responsibility; CALL's link value is ``pc + 1`` and also
+    handled by the caller.
+    """
+    op = instr.opcode
+    if op is Opcode.MOVI:
+        return instr.imm & MASK64
+    if op is Opcode.MOV:
+        return srcs[0]
+    if op is Opcode.ADD:
+        return (srcs[0] + srcs[1]) & MASK64
+    if op is Opcode.SUB:
+        return (srcs[0] - srcs[1]) & MASK64
+    if op is Opcode.AND:
+        return srcs[0] & srcs[1]
+    if op is Opcode.OR:
+        return srcs[0] | srcs[1]
+    if op is Opcode.XOR:
+        return srcs[0] ^ srcs[1]
+    if op is Opcode.MUL:
+        return (srcs[0] * srcs[1]) & MASK64
+    if op is Opcode.DIV:
+        return (srcs[0] // srcs[1]) & MASK64 if srcs[1] else 0
+    if op is Opcode.MOD:
+        return (srcs[0] % srcs[1]) & MASK64 if srcs[1] else 0
+    if op is Opcode.SHL:
+        return (srcs[0] << (instr.imm & 63)) & MASK64
+    if op is Opcode.SHR:
+        return (srcs[0] & MASK64) >> (instr.imm & 63)
+    if op is Opcode.NOT:
+        return ~srcs[0] & MASK64
+    if op is Opcode.NEG:
+        return -srcs[0] & MASK64
+    if op is Opcode.LEA:
+        return (srcs[0] + instr.imm) & MASK64
+    if op is Opcode.CMP:
+        return flags_for(to_signed(srcs[0]) - to_signed(srcs[1]))
+    if op is Opcode.TEST:
+        return flags_for(to_signed(srcs[0] & srcs[1]))
+    if op is Opcode.SELECT:
+        return srcs[1] if srcs[0] & FLAG_ZERO else srcs[2]
+    if op is Opcode.VADD:
+        return tuple((x + y) & MASK64 for x, y in zip(srcs[0], srcs[1]))
+    if op is Opcode.VSUB:
+        return tuple((x - y) & MASK64 for x, y in zip(srcs[0], srcs[1]))
+    if op is Opcode.VMUL:
+        return tuple((x * y) & MASK64 for x, y in zip(srcs[0], srcs[1]))
+    if op is Opcode.VDIV:
+        return tuple((x // y) & MASK64 if y else 0 for x, y in zip(srcs[0], srcs[1]))
+    if op is Opcode.VFMA:
+        return tuple((x * y + z) & MASK64 for x, y, z in zip(srcs[0], srcs[1], srcs[2]))
+    if op is Opcode.VBROADCAST:
+        return (srcs[0] & MASK64,) * VEC_LANES
+    if op is Opcode.VREDUCE:
+        return sum(srcs[0]) & MASK64
+    raise ValueError(f"compute() does not handle {op}")

@@ -1,0 +1,11 @@
+"""Memory hierarchy: caches, prefetchers, DRAM, MSHRs."""
+
+from .cache import Cache, CacheStats
+from .hierarchy import DramModel, HierarchyConfig, MemoryHierarchy
+from .prefetch import CompositePrefetcher, NextLinePrefetcher, StridePrefetcher
+
+__all__ = [
+    "Cache", "CacheStats",
+    "MemoryHierarchy", "HierarchyConfig", "DramModel",
+    "NextLinePrefetcher", "StridePrefetcher", "CompositePrefetcher",
+]

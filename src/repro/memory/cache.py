@@ -1,0 +1,133 @@
+"""Set-associative cache model.
+
+Timing-directed: the hierarchy asks each level whether a block hits and
+installs blocks on fills.  Replacement is true LRU per set; writebacks are
+modeled by tracking dirty state (they cost DRAM bandwidth only in the
+statistics, not extra latency, matching Scarab's default L1/L2 writeback
+treatment).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    prefetch_fills: int = 0
+    prefetch_hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One cache level.
+
+    Args:
+        name: For statistics reporting ("L1D", ...).
+        size_bytes: Total capacity.
+        ways: Associativity.
+        line_bytes: Block size (power of two).
+        latency: Hit latency in cycles (access time of this level).
+    """
+
+    def __init__(self, name: str, size_bytes: int, ways: int, line_bytes: int, latency: int):
+        if line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two")
+        sets = size_bytes // (ways * line_bytes)
+        if sets <= 0:
+            raise ValueError("cache too small for its geometry")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.latency = latency
+        self.num_sets = sets
+        self._line_shift = line_bytes.bit_length() - 1
+        # set index -> OrderedDict {block_addr: state dict}; last = MRU
+        self._sets: Dict[int, OrderedDict] = {}
+        self.stats = CacheStats()
+
+    def block_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def _set_index(self, block: int) -> int:
+        return block % self.num_sets
+
+    def lookup(self, addr: int, is_write: bool = False, update_stats: bool = True) -> bool:
+        """Probe for *addr*; on hit, update LRU (and dirty on writes)."""
+        block = self.block_of(addr)
+        target_set = self._sets.get(self._set_index(block))
+        if update_stats:
+            self.stats.accesses += 1
+        if target_set is not None and block in target_set:
+            target_set.move_to_end(block)
+            line = target_set[block]
+            if is_write:
+                line["dirty"] = True
+            if update_stats:
+                self.stats.hits += 1
+                if line.pop("prefetched", False):
+                    self.stats.prefetch_hits += 1
+            return True
+        if update_stats:
+            self.stats.misses += 1
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Probe without side effects."""
+        block = self.block_of(addr)
+        target_set = self._sets.get(self._set_index(block))
+        return target_set is not None and block in target_set
+
+    def fill(self, addr: int, dirty: bool = False, prefetched: bool = False) -> Optional[int]:
+        """Install the block containing *addr*.
+
+        Returns the evicted block's base address if a dirty block was
+        written back, else ``None``.
+        """
+        block = self.block_of(addr)
+        index = self._set_index(block)
+        target_set = self._sets.setdefault(index, OrderedDict())
+        if block in target_set:
+            target_set.move_to_end(block)
+            if dirty:
+                target_set[block]["dirty"] = True
+            return None
+        writeback = None
+        if len(target_set) >= self.ways:
+            victim_block, victim = target_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim["dirty"]:
+                self.stats.writebacks += 1
+                writeback = victim_block << self._line_shift
+        target_set[block] = {"dirty": dirty, "prefetched": prefetched}
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return writeback
+
+    def invalidate(self, addr: int) -> None:
+        block = self.block_of(addr)
+        target_set = self._sets.get(self._set_index(block))
+        if target_set is not None:
+            target_set.pop(block, None)
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    @property
+    def resident_blocks(self) -> int:
+        return sum(len(s) for s in self._sets.values())

@@ -1,0 +1,15 @@
+"""Cycle-level out-of-order core (Golden-Cove-like, paper Table 1)."""
+
+from .config import CoreConfig, fast_test_config, golden_cove_config
+from .core import Core, DeadlockError, simulate
+from .interrupts import InterruptController, InterruptStats
+from .rob import ROBEntry, ReorderBuffer
+from .stats import RegisterEventLog, RegisterLifetime, SimStats
+
+__all__ = [
+    "CoreConfig", "golden_cove_config", "fast_test_config",
+    "Core", "simulate", "DeadlockError",
+    "InterruptController", "InterruptStats",
+    "ReorderBuffer", "ROBEntry",
+    "SimStats", "RegisterEventLog", "RegisterLifetime",
+]

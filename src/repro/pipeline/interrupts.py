@@ -1,0 +1,155 @@
+"""Interrupt handling (paper section 4.1, "Interrupts").
+
+Two service policies:
+
+* ``drain`` — stop fetching and let the ROB empty, then service.  Works
+  unchanged with ATR (the paper's option (a)).
+* ``flush`` — squash the uncommitted window and service immediately, for
+  lower interrupt latency (the paper's option (b)).  With ATR this is
+  only safe once no *cross-boundary claim* is outstanding: a register
+  whose allocator already committed but whose ATR-claiming redefiner is
+  still in flight was (or may be) early released; flushing the redefiner
+  would un-redefine the register while its ptag is already on the free
+  list.  The paper's fix is a commit-stage counter of such open atomic
+  regions: keep committing until the counter reaches zero, then flush.
+  In the unlikely worst case this drains the whole ROB, which is still
+  correct — no ISA bounds interrupt service time.
+
+The counter here follows the paper's description: it is incremented when
+an instruction commits whose destination register is still
+early-release-eligible (consumer count below no-early-release — a future
+redefiner may claim it), and decremented when the instruction that
+redefines such a register commits (its *previous ptag* closes the
+region, whether it was claimed — invalid prev — or conventionally
+freed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from ..isa import RegClass
+from ..rename.schemes import AtrScheme
+
+
+@dataclass
+class InterruptStats:
+    """Per-run interrupt accounting."""
+
+    serviced: int = 0
+    drained_instructions: int = 0
+    flushed_instructions: int = 0
+    wait_cycles: int = 0  # pending -> service start
+    service_cycles_total: int = 0
+
+
+class InterruptController:
+    """Injects and services interrupts for a :class:`~repro.pipeline.Core`.
+
+    Usage::
+
+        core = Core(config, trace)
+        controller = InterruptController(core, policy="flush")
+        controller.schedule(at_cycle=1000)
+        core.run()
+
+    The controller hooks the core's per-cycle step; the core exposes the
+    commit and flush primitives it needs.
+    """
+
+    def __init__(self, core, policy: str = "drain", service_cycles: int = 60):
+        if policy not in ("drain", "flush"):
+            raise ValueError(f"unknown interrupt policy {policy!r}")
+        self.core = core
+        self.policy = policy
+        self.service_cycles = service_cycles
+        self.stats = InterruptStats()
+        self._pending_at: List[int] = []
+        self._pending = False
+        self._pending_since = 0
+        self._servicing_until: Optional[int] = None
+        self._flush_done = False
+        # ATR open-region counter state (flush policy).  Only ATR-style
+        # schemes (atr / combined) can create the dangerous cross-boundary
+        # claims; other schemes may flush immediately.
+        self._atr_like = isinstance(core.scheme, AtrScheme)
+        self.open_region_counter = 0
+        self._counted: Set[Tuple[RegClass, int]] = set()
+        core._interrupt_controller = self
+
+    # -- injection ----------------------------------------------------------
+    def schedule(self, at_cycle: int) -> None:
+        """Raise an interrupt at *at_cycle* (may schedule several)."""
+        self._pending_at.append(at_cycle)
+        self._pending_at.sort()
+
+    # -- open-region counter (paper section 4.1) -------------------------------
+    def on_precommit(self, entry) -> None:
+        """Maintain the open-atomic-region counter.
+
+        Counted at *precommit* — the guaranteed-to-commit boundary that
+        interrupt flushes respect — rather than commit: a counted
+        register's allocator can then never be part of the squashed tail,
+        which is exactly the property the counter must witness.
+        """
+        if not self._atr_like:
+            return
+        for record in entry.dests:
+            file = self.core.rename_unit.files[record.file]
+            # Closing: this commit redefines a counted register.
+            key_prev = (record.file, record.prev_ptag)
+            if key_prev in self._counted:
+                self._counted.remove(key_prev)
+                self.open_region_counter -= 1
+            # Opening: the committed destination is still claimable
+            # (eligible for a future ATR release by its redefiner).
+            if not file.prt.is_no_early_release(record.new_ptag):
+                self._counted.add((record.file, record.new_ptag))
+                self.open_region_counter += 1
+
+    # -- per-cycle hook -----------------------------------------------------------
+    def tick(self, cycle: int) -> bool:
+        """Advance interrupt state; returns True while fetch must stall."""
+        if self._servicing_until is not None:
+            if cycle < self._servicing_until:
+                return True
+            self._servicing_until = None
+            return False
+
+        if not self._pending and self._pending_at and cycle >= self._pending_at[0]:
+            self._pending_at.pop(0)
+            self._pending = True
+            self._pending_since = cycle
+
+        if not self._pending:
+            return False
+
+        # An interrupt is pending: fetch stops under both policies.
+        if self.policy == "drain":
+            if len(self.core.rob) == 0:
+                self._service(cycle)
+            return True
+
+        # flush policy: wait for the open-region counter to clear, then
+        # squash the uncommitted window.  The counter is conservative
+        # (a counted register may later be bulk-marked and never close),
+        # so the paper's worst case applies: if the ROB drains naturally
+        # while we wait, service anyway — equivalent to the drain policy.
+        if not self._flush_done and (
+            self.open_region_counter == 0 or len(self.core.rob) == 0
+        ):
+            self.stats.flushed_instructions += self.core.interrupt_flush(cycle)
+            self._flush_done = True
+        if self._flush_done and len(self.core.rob) == 0:
+            # the precommitted prefix has drained; service now
+            self._flush_done = False
+            self._service(cycle)
+        return True
+
+    def _service(self, cycle: int) -> None:
+        self._pending = False
+        self.stats.serviced += 1
+        self.stats.wait_cycles += cycle - self._pending_since
+        self.stats.service_cycles_total += self.service_cycles
+        self._servicing_until = cycle + self.service_cycles

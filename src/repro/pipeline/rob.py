@@ -1,0 +1,151 @@
+"""Reorder buffer and its entries.
+
+The ROB is the age-ordered spine of the machine: commit pops from the
+head, the precommit pointer advances through the middle, and a flush cuts
+the tail.  Implemented as a Python list with an explicit head index and
+periodic compaction (O(1) amortized for every operation the core
+performs per cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..branch import Prediction
+from ..frontend import DynamicInstruction
+from ..rename import DestRecord
+
+_NO_CYCLE = -1
+
+
+class ROBEntry:
+    """One in-flight instruction."""
+
+    __slots__ = (
+        "seq",
+        "dyn",
+        "wrong_path",
+        "dests",
+        "src_ptags",
+        "prediction",
+        "mispredicted",
+        "issued",
+        "completed",
+        "resolved",
+        "precommitted",
+        "committed",
+        "squashed",
+        "unready_sources",
+        "cycle_fetch",
+        "cycle_rename",
+        "cycle_issue",
+        "cycle_complete",
+        "cycle_precommit",
+        "cycle_commit",
+        "has_checkpoint",
+        "pending_lifetimes",
+    )
+
+    def __init__(self, seq: int, dyn: DynamicInstruction, cycle_fetch: int,
+                 prediction: Optional[Prediction] = None, mispredicted: bool = False):
+        self.seq = seq
+        self.dyn = dyn
+        self.wrong_path = dyn.wrong_path
+        self.dests: List[DestRecord] = []
+        self.src_ptags: list = []  # (file_cls, srt_slot, ptag) triples
+        self.prediction = prediction
+        self.mispredicted = mispredicted
+        self.issued = False
+        self.completed = False
+        self.resolved = not dyn.instr.is_control
+        self.precommitted = False
+        self.committed = False
+        self.squashed = False
+        self.unready_sources = 0
+        self.cycle_fetch = cycle_fetch
+        self.cycle_rename = _NO_CYCLE
+        self.cycle_issue = _NO_CYCLE
+        self.cycle_complete = _NO_CYCLE
+        self.cycle_precommit = _NO_CYCLE
+        self.cycle_commit = _NO_CYCLE
+        self.has_checkpoint = False
+        self.pending_lifetimes: list = []  # register-event log bookkeeping
+
+    @property
+    def instr(self):
+        return self.dyn.instr
+
+    def __repr__(self) -> str:  # pragma: no cover
+        flags = "".join(
+            c for c, on in (
+                ("W", self.wrong_path), ("I", self.issued), ("C", self.completed),
+                ("P", self.precommitted), ("X", self.squashed),
+            ) if on
+        )
+        return f"<ROB#{self.seq} {self.dyn.instr.render()} [{flags}]>"
+
+
+class ReorderBuffer:
+    """Age-ordered window of in-flight instructions."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: List[ROBEntry] = []
+        self._head = 0
+        #: Index (relative to head) of the next entry to precommit.
+        self.precommit_offset = 0
+
+    def __len__(self) -> int:
+        return len(self._entries) - self._head
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self) >= self.capacity
+
+    def head(self) -> Optional[ROBEntry]:
+        if self._head < len(self._entries):
+            return self._entries[self._head]
+        return None
+
+    def at_offset(self, offset: int) -> Optional[ROBEntry]:
+        """Entry at *offset* from the head (0 = oldest)."""
+        index = self._head + offset
+        if index < len(self._entries):
+            return self._entries[index]
+        return None
+
+    def append(self, entry: ROBEntry) -> None:
+        if self.is_full:
+            raise RuntimeError("ROB overflow; caller must check free_slots")
+        self._entries.append(entry)
+
+    def pop_head(self) -> ROBEntry:
+        """Commit the oldest entry."""
+        entry = self._entries[self._head]
+        self._head += 1
+        if self.precommit_offset > 0:
+            self.precommit_offset -= 1
+        if self._head >= 4096:
+            del self._entries[: self._head]
+            self._head = 0
+        return entry
+
+    def flush_younger(self, seq: int) -> List[ROBEntry]:
+        """Remove every entry younger than *seq*; returns them youngest
+        first (the order the tail walk reclaims them in)."""
+        flushed: List[ROBEntry] = []
+        while len(self._entries) > self._head and self._entries[-1].seq > seq:
+            entry = self._entries.pop()
+            entry.squashed = True
+            flushed.append(entry)
+        self.precommit_offset = min(self.precommit_offset, len(self))
+        return flushed
+
+    def in_flight(self) -> Iterator[ROBEntry]:
+        """Oldest -> youngest iteration."""
+        for i in range(self._head, len(self._entries)):
+            yield self._entries[i]

@@ -1,0 +1,26 @@
+"""Rename substrate: free lists, SRT/RAT, PRT, checkpoints, release schemes."""
+
+from .errors import DoubleFreeError, FreeListEmptyError, RenameError, UseAfterFreeError
+from .freelist import FreeList
+from .physreg import PhysRegEntry, PhysRegTable
+from .rat import CheckpointPool, RegisterAliasTable
+from .schemes import (
+    SCHEME_NAMES,
+    AtrScheme,
+    BaselineScheme,
+    CombinedScheme,
+    NonSpecEarlyReleaseScheme,
+    ReleaseScheme,
+    SchemeStats,
+    make_scheme,
+)
+from .unit import DestRecord, RenameFile, RenameUnit
+
+__all__ = [
+    "RenameError", "DoubleFreeError", "FreeListEmptyError", "UseAfterFreeError",
+    "FreeList", "PhysRegTable", "PhysRegEntry",
+    "RegisterAliasTable", "CheckpointPool",
+    "RenameUnit", "RenameFile", "DestRecord",
+    "ReleaseScheme", "SchemeStats", "BaselineScheme", "NonSpecEarlyReleaseScheme",
+    "AtrScheme", "CombinedScheme", "make_scheme", "SCHEME_NAMES",
+]

@@ -1,0 +1,39 @@
+"""Register release schemes: baseline, nonspec-ER, ATR, combined."""
+
+from typing import Optional
+
+from .atr import AtrScheme
+from .base import ReleaseScheme, SchemeStats
+from .baseline import BaselineScheme
+from .combined import CombinedScheme
+from .nonspec import NonSpecEarlyReleaseScheme
+from .tracking import ConsumerTrackingScheme
+
+SCHEME_NAMES = ("baseline", "nonspec_er", "atr", "combined")
+
+
+def make_scheme(name: str, redefine_delay: int = 0, debug_checks: bool = True) -> ReleaseScheme:
+    """Factory for the four schemes the paper evaluates (Figure 10).
+
+    Args:
+        name: One of :data:`SCHEME_NAMES`.
+        redefine_delay: Pipeline delay of the ATR redefinition signal
+            (paper Figure 13 evaluates 0, 1, 2).
+        debug_checks: Cross-check ATR's flush walk against the oracle.
+    """
+    if name == "baseline":
+        return BaselineScheme()
+    if name == "nonspec_er":
+        return NonSpecEarlyReleaseScheme()
+    if name == "atr":
+        return AtrScheme(redefine_delay=redefine_delay, debug_checks=debug_checks)
+    if name == "combined":
+        return CombinedScheme(redefine_delay=redefine_delay, debug_checks=debug_checks)
+    raise ValueError(f"unknown scheme {name!r}; expected one of {SCHEME_NAMES}")
+
+
+__all__ = [
+    "ReleaseScheme", "SchemeStats", "ConsumerTrackingScheme",
+    "BaselineScheme", "NonSpecEarlyReleaseScheme", "AtrScheme", "CombinedScheme",
+    "make_scheme", "SCHEME_NAMES",
+]

@@ -1,0 +1,138 @@
+"""Release scheme interface.
+
+A release scheme decides *when a physical register returns to the free
+list*.  The pipeline invokes the hooks below at well-defined points; the
+scheme is the only component allowed to call ``freelist.free`` (outside of
+test fixtures), which is what makes the free-list conservation checking
+meaningful.
+
+Hook call order, per simulated cycle:
+
+1. ``tick(cycle)`` — once, before any instruction processing (delayed
+   redefinition signals become visible here).
+2. ``on_commit(entry, cycle)`` — per committing instruction, in order.
+3. ``on_precommit(entry, cycle)`` — per instruction passing the precommit
+   pointer this cycle, in order.
+4. ``on_issue(entry, cycle)`` — per issuing instruction (sources read).
+5. ``pre_rename(entry, cycle)`` / ``post_rename(entry, cycle)`` — per
+   renaming instruction, in program order within the cycle.  ``pre`` runs
+   after source lookup but *before* destination allocation; ``post`` runs
+   after the SRT has been updated.
+6. ``on_flush(flushed, cycle)`` — on a pipeline flush, with the flushed
+   entries ordered youngest first (tail -> flush point); the SRT has
+   already been restored when this is called.
+
+Entries expose: ``seq``, ``instr``, ``dests`` (:class:`DestRecord` list),
+``src_ptags`` ((file, ptag) list), ``issued``, ``precommitted``,
+``squashed``, ``wrong_path``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from ...isa import RegClass
+from ..unit import RenameUnit
+
+
+@dataclass
+class SchemeStats:
+    """Release accounting, the raw material of every figure."""
+
+    commit_frees: int = 0
+    flush_frees: int = 0
+    atr_frees: int = 0
+    nonspec_frees: int = 0
+    atr_claims: int = 0
+    bulk_mark_events: int = 0
+    bulk_marked_ptags: int = 0
+    flush_walks: int = 0
+    pending_squashed: int = 0
+    #: Histogram of lifetime consumer counts of ATR-claimed ptags (Fig 12).
+    claim_consumers: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def early_frees(self) -> int:
+        return self.atr_frees + self.nonspec_frees
+
+    @property
+    def total_frees(self) -> int:
+        return self.commit_frees + self.flush_frees + self.early_frees
+
+    def record_claim_consumers(self, count: int) -> None:
+        self.claim_consumers[count] = self.claim_consumers.get(count, 0) + 1
+
+
+class ReleaseScheme:
+    """Base scheme: owns no policy, provides shared plumbing."""
+
+    name = "abstract"
+    #: Whether the pipeline should maintain the precommit pointer for this
+    #: scheme (it always does for analysis; this flag is informational).
+    uses_precommit = False
+
+    def __init__(self):
+        self.stats = SchemeStats()
+        self.unit: RenameUnit = None  # type: ignore[assignment]
+        #: Optional callback(file_cls, ptag) fired on every *early* release;
+        #: used by the register-event log and by tests observing releases.
+        self.release_listener = None
+
+    def attach(self, unit: RenameUnit) -> None:
+        self.unit = unit
+
+    def _notify_release(self, file_cls, ptag: int) -> None:
+        if self.release_listener is not None:
+            self.release_listener(file_cls, ptag)
+
+    # -- hooks (default: no-ops) ------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        pass
+
+    def pre_rename(self, entry, cycle: int) -> None:
+        pass
+
+    def post_rename(self, entry, cycle: int) -> None:
+        pass
+
+    def on_issue(self, entry, cycle: int) -> None:
+        pass
+
+    def on_writeback(self, file_cls, ptag: int, cycle: int) -> None:
+        """The producer of *ptag* wrote the register file.
+
+        Early-release schemes gate releases on this: a register whose
+        write is still in flight cannot be handed to a new owner.
+        """
+
+    def on_precommit(self, entry, cycle: int) -> None:
+        pass
+
+    def on_commit(self, entry, cycle: int) -> None:
+        """Default conventional release: free every still-owned prev ptag."""
+        for record in entry.dests:
+            if record.release_prev is not None:
+                self.unit.files[record.file].freelist.free(record.release_prev)
+                record.release_prev = None
+                self.stats.commit_frees += 1
+
+    def on_flush(self, flushed: List, cycle: int) -> None:
+        """Default reclamation: free the new ptag of every flushed entry.
+
+        *flushed* is ordered youngest -> oldest.  The SRT was already
+        restored by the pipeline; schemes override this when some new
+        ptags may already have been early released (ATR).
+        """
+        self.stats.flush_walks += 1
+        for entry in flushed:
+            for record in entry.dests:
+                self.unit.files[record.file].freelist.free(record.new_ptag)
+                self.stats.flush_frees += 1
+
+    # -- shared helpers ---------------------------------------------------------
+    def _free(self, file_cls: RegClass, ptag: int) -> None:
+        self.unit.files[file_cls].freelist.free(ptag)
+
+    def describe(self) -> str:
+        return self.name

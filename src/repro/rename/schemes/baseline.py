@@ -1,0 +1,20 @@
+"""Baseline register release (paper section 4.2.1).
+
+A physical register is freed when the instruction that *redefines* its
+architectural register commits.  On a flush, the ptags allocated by
+flushed instructions are reclaimed by walking the ROB from the tail to the
+flush point.  No consumer counters exist.
+"""
+
+from __future__ import annotations
+
+from .base import ReleaseScheme
+
+
+class BaselineScheme(ReleaseScheme):
+    """Conventional commit-time release."""
+
+    name = "baseline"
+
+    # All behaviour is the ReleaseScheme default: free release_prev at
+    # commit, free new ptags on flush.

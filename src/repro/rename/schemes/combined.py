@@ -1,0 +1,102 @@
+"""ATR combined with non-speculative early release (paper section 4.3).
+
+The two mechanisms are synergistic: ATR releases registers allocated in
+atomic commit regions as soon as they are redefined and consumed —
+potentially long before precommit — while nonspec-ER covers the non-atomic
+registers, freeing them once their redefiner precommits.  The consumer
+counter is shared (paper section 4.4 notes the combination therefore adds
+effectively no storage); the no-early-release marking is kept as a
+separate bit so bulk marking does not destroy the counts nonspec-ER needs
+(see ``repro.rename.physreg`` for the encoding discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...isa import RegClass
+from .atr import AtrScheme
+
+
+class CombinedScheme(AtrScheme):
+    """ATR for atomic regions, nonspec-ER for everything else."""
+
+    name = "combined"
+    uses_precommit = True
+
+    def __init__(self, redefine_delay: int = 0, debug_checks: bool = True):
+        super().__init__(
+            redefine_delay=redefine_delay,
+            debug_checks=debug_checks,
+            restore_counts_on_flush=True,
+        )
+        self._redefiner: Dict[Tuple[RegClass, int], tuple] = {}
+
+    # -- rename: unclaimed prevs fall through to nonspec tracking ----------------
+    def _not_claimed(self, entry, record, cycle: int) -> None:
+        self._redefiner[(record.file, record.release_prev)] = (entry, record)
+
+    # -- release triggers ---------------------------------------------------------
+    def _count_reached_zero(self, file_cls: RegClass, ptag: int, cycle: int) -> None:
+        file = self.unit.files[file_cls]
+        e = file.prt.entries[ptag]
+        if not e.value_ready:
+            return
+        if file.prt.redefined_visible(ptag, cycle) and not e.early_released:
+            self._atr_release(file_cls, ptag)
+            return
+        self._try_nonspec(file_cls, ptag)
+
+    def on_writeback(self, file_cls: RegClass, ptag: int, cycle: int) -> None:
+        file = self.unit.files[file_cls]
+        e = file.prt.entries[ptag]
+        if e.consumer_count != 0 or e.early_released:
+            return
+        if file.prt.redefined_visible(ptag, cycle):
+            self._atr_release(file_cls, ptag)
+            return
+        self._try_nonspec(file_cls, ptag)
+
+    def _try_nonspec(self, file_cls: RegClass, ptag: int) -> None:
+        redefiner = self._redefiner.get((file_cls, ptag))
+        if redefiner is None:
+            return
+        entry, record = redefiner
+        if entry.precommitted and not entry.squashed and record.release_prev == ptag:
+            self._nonspec_release(file_cls, record)
+
+    def on_precommit(self, entry, cycle: int) -> None:
+        for record in entry.dests:
+            ptag = record.release_prev
+            if ptag is None:
+                continue
+            prt = self.unit.files[record.file].prt
+            if prt.consumers(ptag) == 0 and prt.is_written(ptag):
+                self._nonspec_release(record.file, record)
+
+    def _nonspec_release(self, file_cls: RegClass, record) -> None:
+        ptag = record.release_prev
+        record.release_prev = None
+        self._redefiner.pop((file_cls, ptag), None)
+        file = self.unit.files[file_cls]
+        file.prt.entries[ptag].early_released = True
+        file.freelist.free(ptag)
+        self.stats.nonspec_frees += 1
+        self._notify_release(file_cls, ptag)
+
+    # -- commit / flush ------------------------------------------------------------
+    def on_commit(self, entry, cycle: int) -> None:
+        for record in entry.dests:
+            if record.release_prev is not None:
+                self._redefiner.pop((record.file, record.release_prev), None)
+        super().on_commit(entry, cycle)
+
+    def on_flush(self, flushed: List, cycle: int) -> None:
+        for entry in flushed:
+            for record in entry.dests:
+                if record.release_prev is not None:
+                    key = (record.file, record.release_prev)
+                    registered = self._redefiner.get(key)
+                    if registered is not None and registered[0] is entry:
+                        del self._redefiner[key]
+        super().on_flush(flushed, cycle)

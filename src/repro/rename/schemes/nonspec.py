@@ -1,0 +1,96 @@
+"""Non-speculative early release (paper sections 2.3 / 4.3, after
+Monreal et al. [19] with the paper's safe precommit definition).
+
+A physical register is freed before the commit of its redefining
+instruction when (1) its consumer count is zero and (2) the redefining
+instruction has *precommitted* — all older branches are resolved and all
+older exception-causing instructions are known not to fault.  Precommitted
+instructions can never flush, so the release is safe and needs no recovery
+machinery; the cost is that releases happen in precommit order, typically
+only a few cycles before commit (paper Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...isa import RegClass
+from .tracking import ConsumerTrackingScheme
+
+
+class NonSpecEarlyReleaseScheme(ConsumerTrackingScheme):
+    """Early release gated on the redefiner's precommit."""
+
+    name = "nonspec_er"
+    uses_precommit = True
+
+    def __init__(self):
+        super().__init__(restore_counts_on_flush=True)
+        # (file, prev_ptag) -> (rob entry, dest record) of the redefiner.
+        self._redefiner: Dict[Tuple[RegClass, int], tuple] = {}
+
+    # -- rename -----------------------------------------------------------------
+    def post_rename(self, entry, cycle: int) -> None:
+        for record in entry.dests:
+            if record.release_prev is not None:
+                self._redefiner[(record.file, record.release_prev)] = (entry, record)
+
+    # -- release triggers ----------------------------------------------------------
+    def _count_reached_zero(self, file_cls: RegClass, ptag: int, cycle: int) -> None:
+        if not self.unit.files[file_cls].prt.is_written(ptag):
+            return
+        redefiner = self._redefiner.get((file_cls, ptag))
+        if redefiner is None:
+            return
+        entry, record = redefiner
+        if entry.precommitted and not entry.squashed and record.release_prev == ptag:
+            self._early_release(file_cls, record)
+
+    def on_writeback(self, file_cls: RegClass, ptag: int, cycle: int) -> None:
+        if self.unit.files[file_cls].prt.consumers(ptag) != 0:
+            return
+        redefiner = self._redefiner.get((file_cls, ptag))
+        if redefiner is None:
+            return
+        entry, record = redefiner
+        if entry.precommitted and not entry.squashed and record.release_prev == ptag:
+            self._early_release(file_cls, record)
+
+    def on_precommit(self, entry, cycle: int) -> None:
+        for record in entry.dests:
+            ptag = record.release_prev
+            if ptag is None:
+                continue
+            prt = self.unit.files[record.file].prt
+            if prt.consumers(ptag) == 0 and prt.is_written(ptag):
+                self._early_release(record.file, record)
+
+    def _early_release(self, file_cls: RegClass, record) -> None:
+        ptag = record.release_prev
+        record.release_prev = None
+        self._redefiner.pop((file_cls, ptag), None)
+        file = self.unit.files[file_cls]
+        file.prt.entries[ptag].early_released = True
+        file.freelist.free(ptag)
+        self.stats.nonspec_frees += 1
+        self._notify_release(file_cls, ptag)
+
+    # -- commit / flush ---------------------------------------------------------------
+    def on_commit(self, entry, cycle: int) -> None:
+        for record in entry.dests:
+            if record.release_prev is not None:
+                self._redefiner.pop((record.file, record.release_prev), None)
+        super().on_commit(entry, cycle)
+
+    def on_flush(self, flushed: List, cycle: int) -> None:
+        # Flushed redefiners never early released anything (they were never
+        # precommitted), so reclamation is the plain tail walk; we only
+        # drop their redefiner registrations.
+        for entry in flushed:
+            for record in entry.dests:
+                if record.release_prev is not None:
+                    key = (record.file, record.release_prev)
+                    registered = self._redefiner.get(key)
+                    if registered is not None and registered[0] is entry:
+                        del self._redefiner[key]
+        super().on_flush(flushed, cycle)

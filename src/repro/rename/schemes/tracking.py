@@ -1,0 +1,53 @@
+"""Shared consumer-count tracking for the early-release schemes.
+
+Both non-speculative early release and ATR track, per physical register,
+how many renamed consumers have not yet issued (paper sections 2.2 and
+4.2.2): increment when a consumer renames, decrement when it issues, and
+the count-reaching-zero event is a release trigger.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...isa import RegClass
+from .base import ReleaseScheme
+
+
+class ConsumerTrackingScheme(ReleaseScheme):
+    """Base for schemes that maintain PRT consumer counters.
+
+    Args:
+        restore_counts_on_flush: Undo the rename-time increments of
+            flushed, never-issued consumers.  Required by nonspec-ER (the
+            paper notes prior work needs recovery hardware for this);
+            unnecessary for pure ATR, whose bulk marking guarantees that
+            any register live across a flush point is no-early-release
+            anyway.
+    """
+
+    def __init__(self, restore_counts_on_flush: bool = False):
+        super().__init__()
+        self.restore_counts_on_flush = restore_counts_on_flush
+
+    # -- consumer counting -------------------------------------------------------
+    def pre_rename(self, entry, cycle: int) -> None:
+        for file_cls, _slot, ptag in entry.src_ptags:
+            self.unit.files[file_cls].prt.add_consumer(ptag)
+
+    def on_issue(self, entry, cycle: int) -> None:
+        for file_cls, _slot, ptag in entry.src_ptags:
+            if self.unit.files[file_cls].prt.remove_consumer(ptag):
+                self._count_reached_zero(file_cls, ptag, cycle)
+
+    def _count_reached_zero(self, file_cls: RegClass, ptag: int, cycle: int) -> None:
+        """Override: a release trigger for schemes that care."""
+
+    # -- flush ---------------------------------------------------------------------
+    def on_flush(self, flushed: List, cycle: int) -> None:
+        if self.restore_counts_on_flush:
+            for entry in flushed:
+                if not entry.issued:
+                    for file_cls, _slot, ptag in entry.src_ptags:
+                        self.unit.files[file_cls].prt.undo_consumer(ptag)
+        super().on_flush(flushed, cycle)

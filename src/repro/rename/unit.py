@@ -1,0 +1,166 @@
+"""The rename unit: per-file free list + SRT + PRT, and the rename step.
+
+``RenameUnit`` owns one :class:`RenameFile` for the scalar-integer file
+(16 GPRs + FLAGS) and one for the vector file, matching the paper's split
+register file assumption.  It performs the mechanical part of renaming —
+source lookup, destination allocation, SRT update, previous-ptag capture —
+while the pluggable release scheme (``repro.rename.schemes``) decides when
+ptags return to the free list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import INT_SRT_SLOTS, VEC_SRT_SLOTS, ArchReg, Instruction, RegClass
+from .freelist import FreeList
+from .physreg import PhysRegTable
+from .rat import RegisterAliasTable
+
+
+class DestRecord:
+    """Rename metadata for one destination of one in-flight instruction.
+
+    ``prev_ptag`` always holds the SRT mapping this rename displaced and is
+    used for RAT recovery on a flush.  ``release_prev`` starts equal to it
+    and is *invalidated* (set to ``None``) by a scheme that takes ownership
+    of freeing that ptag — the paper's double-free avoidance (section
+    4.2.4): each ptag is freed by exactly one mechanism.
+    """
+
+    __slots__ = ("file", "slot", "new_ptag", "prev_ptag", "release_prev", "new_epoch")
+
+    def __init__(self, file: RegClass, slot: int, new_ptag: int, prev_ptag: int, new_epoch: int):
+        self.file = file
+        self.slot = slot
+        self.new_ptag = new_ptag
+        self.prev_ptag = prev_ptag
+        self.release_prev: Optional[int] = prev_ptag
+        self.new_epoch = new_epoch
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Dest {self.file.value}[{self.slot}] p{self.new_ptag} "
+            f"prev=p{self.prev_ptag} rel={self.release_prev}>"
+        )
+
+
+class RenameFile:
+    """One physical register file with its free list, SRT, and PRT."""
+
+    def __init__(self, name: str, arch_slots: int, size: int, counter_bits: int = 3):
+        if size < arch_slots + 1:
+            raise ValueError(
+                f"{name}: physical register file of {size} cannot back {arch_slots} "
+                "architectural registers"
+            )
+        self.name = name
+        self.arch_slots = arch_slots
+        self.size = size
+        self.freelist = FreeList(size)
+        # The first arch_slots ptags back the initial architectural state.
+        initial = [self.freelist.allocate() for _ in range(arch_slots)]
+        self.rat = RegisterAliasTable(arch_slots, initial)
+        self.prt = PhysRegTable(size, counter_bits=counter_bits)
+
+    @property
+    def free_count(self) -> int:
+        return self.freelist.free_count
+
+    def live_srt_ptags(self) -> Tuple[int, ...]:
+        return self.rat.live_ptags()
+
+
+class RenameUnit:
+    """Both register files plus the per-instruction rename step."""
+
+    def __init__(
+        self,
+        int_size: int,
+        vec_size: int,
+        counter_bits: int = 3,
+        reserve: int = 0,
+    ):
+        """
+        Args:
+            int_size / vec_size: Physical register count per file.
+            counter_bits: PRT consumer counter width.
+            reserve: Free-list low-watermark at which rename stalls
+                (paper: MAX_DEST x rename width).
+        """
+        self.files: Dict[RegClass, RenameFile] = {
+            RegClass.INT: RenameFile("int", INT_SRT_SLOTS, int_size, counter_bits),
+            RegClass.VEC: RenameFile("vec", VEC_SRT_SLOTS, vec_size, counter_bits),
+        }
+        self.reserve = reserve
+        self.stall_cycles = 0
+
+    def file_of(self, reg: ArchReg) -> RenameFile:
+        return self.files[reg.cls.file]
+
+    def can_rename(self, instr: Instruction) -> bool:
+        """True if the free lists are above the stall watermark for the
+        destinations *instr* needs."""
+        needs: Dict[RegClass, int] = {}
+        for dest in instr.dests:
+            file = dest.cls.file
+            needs[file] = needs.get(file, 0) + 1
+        for file_cls, count in needs.items():
+            if self.files[file_cls].free_count - count < self.reserve:
+                return False
+        return True
+
+    def lookup_sources(self, instr: Instruction) -> List[Tuple[RegClass, int, int]]:
+        """SRT lookup of every source operand, in operand order.
+
+        Returns (file class, SRT slot, ptag) triples; the slot is needed by
+        ATR's two-bit flush walk, which matches sources by architectural
+        register.
+        """
+        out = []
+        for src in instr.srcs:
+            file_cls = src.cls.file
+            file = self.files[file_cls]
+            slot = src.srt_slot
+            out.append((file_cls, slot, file.rat.read(slot)))
+        return out
+
+    def allocate_dests(self, instr: Instruction, cycle: int, seq: int) -> List[DestRecord]:
+        """Allocate a new ptag per destination and update the SRT.
+
+        Caller must have checked :meth:`can_rename`.
+        """
+        records = []
+        for dest in instr.dests:
+            file = self.files[dest.cls.file]
+            new_ptag = file.freelist.allocate()
+            file.prt.on_allocate(new_ptag, cycle, seq)
+            prev = file.rat.write(dest.srt_slot, new_ptag)
+            records.append(
+                DestRecord(
+                    file=dest.cls.file,
+                    slot=dest.srt_slot,
+                    new_ptag=new_ptag,
+                    prev_ptag=prev,
+                    new_epoch=file.prt.epoch(new_ptag),
+                )
+            )
+        return records
+
+    def srt_snapshots(self) -> tuple:
+        """(int, vec) SRT snapshots, for checkpoints."""
+        return (
+            self.files[RegClass.INT].rat.snapshot(),
+            self.files[RegClass.VEC].rat.snapshot(),
+        )
+
+    def restore_srt(self, snapshots: tuple) -> None:
+        self.files[RegClass.INT].rat.restore(snapshots[0])
+        self.files[RegClass.VEC].rat.restore(snapshots[1])
+
+    def all_live_srt_ptags(self):
+        """Iterate (file_class, ptag) over every current SRT mapping."""
+        for file_cls, file in self.files.items():
+            for ptag in file.rat.live_ptags():
+                yield file_cls, ptag

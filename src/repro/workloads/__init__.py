@@ -1,0 +1,33 @@
+"""Workloads: SPEC-named kernels, suite registry, synthesis, SimPoints."""
+
+from . import kernels_fp, kernels_int
+from .simpoint import (
+    SimPoint,
+    basic_block_vectors,
+    kmeans,
+    pick_simpoints,
+    slice_trace,
+    weighted_mean,
+)
+from .suite import (
+    ALL_BENCHMARKS,
+    SPEC_FP,
+    SPEC_INT,
+    build_suite,
+    build_trace,
+    builder_for,
+    clear_trace_cache,
+    is_fp,
+    resolve,
+)
+from .synthesis import PROFILES, WorkloadProfile, synthesize
+
+__all__ = [
+    "SPEC_INT", "SPEC_FP", "ALL_BENCHMARKS",
+    "build_trace", "build_suite", "builder_for", "resolve", "is_fp",
+    "clear_trace_cache",
+    "WorkloadProfile", "synthesize", "PROFILES",
+    "SimPoint", "basic_block_vectors", "kmeans", "pick_simpoints",
+    "slice_trace", "weighted_mean",
+    "kernels_int", "kernels_fp",
+]

@@ -1,0 +1,117 @@
+"""Workload suite registry (paper Table 2).
+
+Maps every SPEC CPU 2017 benchmark name the paper evaluates to its
+stand-in kernel and builds traces of a requested dynamic length by
+scaling the kernel's outer iteration count.  Traces are cached per
+(name, length) within a process so experiment sweeps that re-simulate
+the same workload under many configurations only emulate it once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..frontend import Emulator, Trace
+from ..isa import Program
+from . import kernels_fp, kernels_int
+
+#: name -> (program builder taking ``iterations``, probe iterations)
+_INT_BUILDERS: Dict[str, Callable[..., Program]] = {
+    "500.perlbench_r": kernels_int.perlbench,
+    "502.gcc_r": kernels_int.gcc,
+    "505.mcf_r": kernels_int.mcf,
+    "520.omnetpp_r": kernels_int.omnetpp,
+    "523.xalancbmk_r": kernels_int.xalancbmk,
+    "525.x264_r": kernels_int.x264,
+    "531.deepsjeng_r": kernels_int.deepsjeng,
+    "541.leela_r": kernels_int.leela,
+    "548.exchange2_r": kernels_int.exchange2,
+    "557.xz_r": kernels_int.xz,
+}
+
+_FP_BUILDERS: Dict[str, Callable[..., Program]] = {
+    "503.bwaves_r": kernels_fp.bwaves,
+    "507.cactuBSSN_r": kernels_fp.cactubssn,
+    "508.namd_r": kernels_fp.namd,
+    "510.parest_r": kernels_fp.parest,
+    "511.povray_r": kernels_fp.povray,
+    "519.lbm_r": kernels_fp.lbm,
+    "521.wrf_r": kernels_fp.wrf,
+    "526.blender_r": kernels_fp.blender,
+    "527.cam4_r": kernels_fp.cam4,
+    "538.imagick_r": kernels_fp.imagick,
+    "544.nab_r": kernels_fp.nab,
+    "549.fotonik3d_r": kernels_fp.fotonik3d,
+    "554.roms_r": kernels_fp.roms,
+}
+
+SPEC_INT: Tuple[str, ...] = tuple(_INT_BUILDERS)
+SPEC_FP: Tuple[str, ...] = tuple(_FP_BUILDERS)
+ALL_BENCHMARKS: Tuple[str, ...] = SPEC_INT + SPEC_FP
+
+_trace_cache: Dict[Tuple[str, int], Trace] = {}
+
+
+def is_fp(name: str) -> bool:
+    return name in _FP_BUILDERS
+
+
+def builder_for(name: str) -> Callable[..., Program]:
+    if name in _INT_BUILDERS:
+        return _INT_BUILDERS[name]
+    if name in _FP_BUILDERS:
+        return _FP_BUILDERS[name]
+    raise KeyError(
+        f"unknown benchmark {name!r}; known: {', '.join(ALL_BENCHMARKS)}"
+    )
+
+
+def resolve(name: str) -> str:
+    """Accept short names ('mcf', 'x264') as well as full SPEC ids."""
+    if name in _INT_BUILDERS or name in _FP_BUILDERS:
+        return name
+    matches = [full for full in ALL_BENCHMARKS if name in full]
+    if len(matches) == 1:
+        return matches[0]
+    raise KeyError(f"ambiguous or unknown benchmark {name!r}: {matches}")
+
+
+def build_trace(name: str, instructions: int = 20_000, use_cache: bool = True) -> Trace:
+    """A dynamic trace of roughly *instructions* instructions.
+
+    The kernel's outer iteration count is scaled from a small probe run;
+    the trace is truncated at exactly *instructions* if the scaled run
+    overshoots (the simulator does not require a trailing HALT).
+    """
+    name = resolve(name)
+    key = (name, instructions)
+    if use_cache and key in _trace_cache:
+        return _trace_cache[key]
+    builder = builder_for(name)
+
+    probe_iters = 4
+    probe = Emulator(builder(iterations=probe_iters)).run(max_instructions=instructions)
+    per_iter = max(1, len(probe) // probe_iters)
+    need_iters = max(probe_iters, (instructions // per_iter) + 2)
+    # Some kernels terminate on data-dependent conditions rather than the
+    # iteration count alone; keep doubling until the trace is long enough.
+    trace = None
+    for _ in range(8):
+        program = builder(iterations=need_iters)
+        trace = Emulator(program).run(max_instructions=instructions)
+        if len(trace) >= instructions or not trace.entries[-1].instr.is_halt:
+            break
+        need_iters *= 2
+    trace.entries = trace.entries[:instructions]
+    trace.name = name
+    if use_cache:
+        _trace_cache[key] = trace
+    return trace
+
+
+def build_suite(names, instructions: int = 20_000) -> List[Trace]:
+    return [build_trace(name, instructions) for name in names]
+
+
+def clear_trace_cache() -> None:
+    _trace_cache.clear()

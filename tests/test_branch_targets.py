@@ -1,0 +1,150 @@
+"""Target predictors: BTB, indirect predictor, return address stack."""
+
+import pytest
+
+from repro.branch import (
+    BranchTargetBuffer,
+    BranchUnit,
+    IndirectTargetPredictor,
+    Prediction,
+    ReturnAddressStack,
+)
+from repro.isa import Instruction, Opcode, ireg
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=64, ways=2)
+        assert btb.predict(0x40) is None
+        btb.update(0x40, 0x80)
+        assert btb.predict(0x40) == 0x80
+
+    def test_update_overwrites(self):
+        btb = BranchTargetBuffer(entries=64, ways=2)
+        btb.update(0x40, 0x80)
+        btb.update(0x40, 0x90)
+        assert btb.predict(0x40) == 0x90
+
+    def test_lru_eviction(self):
+        btb = BranchTargetBuffer(entries=8, ways=2)  # 4 sets
+        a, b, c = 0, 4, 8  # same set (pc % 4 == 0)
+        btb.update(a, 1)
+        btb.update(b, 2)
+        btb.predict(a)      # make a MRU
+        btb.update(c, 3)    # evicts b
+        assert btb.predict(a) == 1
+        assert btb.predict(b) is None
+        assert btb.predict(c) == 3
+
+    def test_stats_counted(self):
+        btb = BranchTargetBuffer(entries=64, ways=2)
+        btb.predict(1)
+        btb.update(1, 2)
+        btb.predict(1)
+        assert btb.lookups == 2
+        assert btb.misses == 1
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=10, ways=3)
+
+
+class TestIndirect:
+    def test_last_target_fallback(self):
+        p = IndirectTargetPredictor()
+        p.update(0x40, 0x99)
+        # different history, same pc: hashed entry may miss, fallback hits
+        for _ in range(8):
+            p.update(0x50, 0x10)
+        assert p.predict(0x40) in (0x99, 0x10) or p.predict(0x40) == 0x99
+
+    def test_repeating_target_predicted(self):
+        p = IndirectTargetPredictor()
+        for _ in range(5):
+            p.update(0x40, 0x123)
+        assert p.predict(0x40) == 0x123
+
+    def test_unknown_pc_is_none(self):
+        assert IndirectTargetPredictor().predict(0x77) is None
+
+
+class TestRAS:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack()
+        ras.push(1)
+        ras.push(2)
+        assert ras.pop() == 2
+        assert ras.pop() == 1
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_snapshot_restore(self):
+        ras = ReturnAddressStack()
+        ras.push(1)
+        snap = ras.snapshot()
+        ras.push(2)
+        ras.pop()
+        ras.pop()
+        ras.restore(snap)
+        assert ras.peek() == 1
+        assert len(ras) == 1
+
+
+class TestBranchUnit:
+    def _branch(self, target=8):
+        from repro.isa import FLAGS
+        return Instruction(Opcode.BNE, srcs=(FLAGS,), target=target)
+
+    def test_conditional_prediction_and_training(self):
+        unit = BranchUnit()
+        instr = self._branch()
+        for _ in range(30):
+            pred = unit.predict(4, instr)
+            unit.resolve(4, instr, pred, taken=True, target=8)
+        pred = unit.predict(4, instr)
+        assert pred.taken is True
+        assert pred.target == 8
+
+    def test_mispredict_counted(self):
+        unit = BranchUnit()
+        instr = self._branch()
+        pred = Prediction(taken=False, target=5)
+        assert unit.resolve(4, instr, pred, taken=True, target=8)
+        assert unit.stats.conditional_mispredicted == 1
+
+    def test_call_pushes_return_address(self):
+        unit = BranchUnit()
+        call = Instruction(Opcode.CALL, dests=(ireg(15),), target=100)
+        unit.predict(10, call)
+        assert unit.ras.peek() == 11
+
+    def test_return_pops_ras(self):
+        unit = BranchUnit()
+        call = Instruction(Opcode.CALL, dests=(ireg(15),), target=100)
+        ret = Instruction(Opcode.RET, srcs=(ireg(15),))
+        unit.predict(10, call)
+        pred = unit.predict(105, ret)
+        assert pred.taken and pred.target == 11
+
+    def test_indirect_jump_trains(self):
+        unit = BranchUnit()
+        jr = Instruction(Opcode.JR, srcs=(ireg(3),))
+        pred = unit.predict(20, jr)
+        assert pred.target is None
+        unit.resolve(20, jr, pred, taken=True, target=55)
+        assert unit.predict(20, jr).target == 55
+
+    def test_accuracy_metric(self):
+        unit = BranchUnit()
+        instr = self._branch()
+        pred = Prediction(taken=True, target=8)
+        unit.resolve(4, instr, pred, taken=True, target=8)
+        assert unit.stats.accuracy() == 1.0

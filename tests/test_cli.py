@@ -1,0 +1,55 @@
+"""CLI smoke tests (``python -m repro ...``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "505.mcf_r" in out and "554.roms_r" in out
+
+
+def test_disasm(capsys):
+    assert main(["disasm", "xz"]) == 0
+    out = capsys.readouterr().out
+    assert "ld " in out and "bne" in out
+
+
+def test_run(capsys):
+    assert main(["run", "deepsjeng", "-n", "1500", "-r", "64", "-s", "atr"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out and "releases:" in out
+
+
+def test_compare(capsys):
+    assert main(["compare", "deepsjeng", "-n", "1500", "-r", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out and "combined" in out
+
+
+def test_analyze(capsys):
+    assert main(["analyze", "omnetpp", "-n", "1500"]) == 0
+    out = capsys.readouterr().out
+    assert "atomic" in out
+
+
+def test_figure_quick(capsys):
+    assert main(["figure", "fig06", "-n", "1000", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "atomic" in out
+
+
+def test_figure_sec44(capsys):
+    assert main(["figure", "sec44"]) == 0
+    assert "gates" in capsys.readouterr().out
+
+
+def test_figure_unknown(capsys):
+    assert main(["figure", "fig99"]) == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

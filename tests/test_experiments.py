@@ -1,0 +1,137 @@
+"""Experiment harness smoke tests: every figure runs end to end on a
+small scale and produces a coherent, renderable result."""
+
+import pytest
+
+from repro.experiments import (
+    expectations,
+    fig01,
+    fig04,
+    fig06,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    geomean,
+    mean,
+    run_cell,
+    sec44,
+    speedup,
+)
+from repro.experiments.report import compare_line, format_table, pct, shorten
+
+SMALL = dict(instructions=1200)
+INT2 = ["505.mcf_r", "531.deepsjeng_r"]
+FP2 = ["503.bwaves_r", "508.namd_r"]
+
+
+class TestRunner:
+    def test_run_cell_caches(self):
+        a = run_cell("mcf", 64, "baseline", 1200)
+        b = run_cell("mcf", 64, "baseline", 1200)
+        assert a is b
+
+    def test_speedup_and_means(self):
+        assert speedup(1.1, 1.0) == pytest.approx(0.1)
+        assert mean([1, 2, 3]) == 2
+        assert geomean([1, 4]) == 2
+        with pytest.raises(ValueError):
+            geomean([0.0])
+
+    def test_cell_carries_scheme_stats(self):
+        cell = run_cell("deepsjeng", 64, "atr", 1200)
+        assert cell.scheme_stats.atr_claims > 0
+
+
+class TestFigures:
+    def test_fig01_normalized_monotone_at_average(self):
+        result = fig01.run(benchmarks=INT2, sizes=(64, 128, 280), **SMALL)
+        assert result.average[64] <= result.average[280] + 0.02
+        assert result.average[280] <= 1.02
+        assert "Figure 1" in result.render()
+
+    def test_fig04_shares(self):
+        result = fig04.run(int_benchmarks=INT2, fp_benchmarks=FP2, **SMALL)
+        total = (result.int_total.in_use + result.int_total.unused
+                 + result.int_total.verified_unused)
+        assert total == pytest.approx(1.0)
+        assert "verified-unused" in result.render()
+
+    def test_fig06_ratios_bounded(self):
+        result = fig06.run(int_benchmarks=INT2, fp_benchmarks=FP2, **SMALL)
+        for ratios in result.ratios.values():
+            for value in ratios.values():
+                assert 0 <= value <= 1
+        assert 0 < result.average("int") < 1
+
+    def test_fig10_contains_all_schemes(self):
+        result = fig10.run(int_benchmarks=INT2, fp_benchmarks=FP2,
+                           sizes=(64,), **SMALL)
+        assert ("505.mcf_r", 64, "atr") in result.speedups
+        text = result.render()
+        assert "nonspec_er" in text and "combined" in text
+
+    def test_fig11_rows_per_size(self):
+        result = fig11.run(int_benchmarks=INT2, fp_benchmarks=[],
+                           sizes=(64, 128), **SMALL)
+        assert len(result.speedups) == 4
+        assert "Figure 11" in result.render()
+
+    def test_fig12_histograms(self):
+        result = fig12.run(benchmarks=INT2 + ["508.namd_r"], **SMALL)
+        assert "namd" in result.render()
+        for histogram in result.histograms.values():
+            assert all(k >= 0 for k in histogram)
+
+    def test_fig13_delays(self):
+        result = fig13.run(benchmarks=["531.deepsjeng_r"], rf_size=64, **SMALL)
+        assert set(d for _b, d in result.speedups) == {0, 1, 2}
+        assert result.max_degradation() < 0.2
+
+    def test_fig14_ordering(self):
+        result = fig14.run(benchmarks=INT2, **SMALL)
+        for timing in result.timings.values():
+            if timing.chains:
+                assert timing.rename_to_redefine <= timing.rename_to_commit + 1e-9
+
+    def test_fig15_reductions(self):
+        result = fig15.run(benchmarks=["531.deepsjeng_r"], reference_rf=128,
+                           step=16, **SMALL)
+        for scheme in ("baseline", "atr", "nonspec_er", "combined"):
+            assert result.required[scheme] <= 128
+        # early-release schemes never need MORE registers than baseline
+        assert result.required["combined"] <= result.required["baseline"]
+        assert "Figure 15" in result.render()
+
+    def test_sec44_report(self):
+        result = sec44.run()
+        assert result.counter_overhead_int == pytest.approx(3 / 64)
+        assert "gates" in result.render()
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_pct(self):
+        assert pct(0.0513) == "+5.13%"
+        assert pct(-0.003) == "-0.30%"
+
+    def test_shorten(self):
+        assert shorten("520.omnetpp_r") == "omnetpp"
+        assert shorten("plain") == "plain"
+
+    def test_compare_line_contains_both(self):
+        line = compare_line("x", 0.05, 0.06)
+        assert "+5.00%" in line and "+6.00%" in line
+
+
+def test_expectations_paper_numbers_present():
+    assert expectations.HEADLINE_SPEEDUP_64 == pytest.approx(0.0513)
+    assert expectations.FIG15_REGISTERS["atr"] == 204
+    assert expectations.SEC44_GATES == 2960

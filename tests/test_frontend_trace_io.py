@@ -1,0 +1,75 @@
+"""Trace serialization round trips (binary and JSONL)."""
+
+import pytest
+
+from repro.frontend import (
+    read_trace,
+    read_trace_jsonl,
+    run_program,
+    trace_from_bytes,
+    trace_to_bytes,
+    write_trace,
+    write_trace_jsonl,
+)
+from repro.isa import assemble
+
+
+def _entries_equal(a, b):
+    return (
+        len(a) == len(b)
+        and all(
+            x.pc == y.pc and x.next_pc == y.next_pc and x.taken == y.taken
+            and x.mem_addr == y.mem_addr and x.instr == y.instr
+            for x, y in zip(a.entries, b.entries)
+        )
+    )
+
+
+@pytest.fixture
+def trace(memory_program):
+    return run_program(memory_program)
+
+
+def test_bytes_round_trip(trace):
+    again = trace_from_bytes(trace_to_bytes(trace))
+    assert _entries_equal(trace, again)
+    assert again.name == trace.name
+
+
+def test_file_round_trip(trace, tmp_path):
+    path = str(tmp_path / "t.rtrace")
+    write_trace(trace, path)
+    again = read_trace(path)
+    assert _entries_equal(trace, again)
+
+
+def test_jsonl_round_trip(trace, tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    write_trace_jsonl(trace, path)
+    again = read_trace_jsonl(path)
+    assert _entries_equal(trace, again)
+
+
+def test_data_image_preserved(tmp_path):
+    prog = assemble(".word 64 123\nmovi r1, 64\nld r2, r1, 0\nhalt")
+    trace = run_program(prog)
+    again = trace_from_bytes(trace_to_bytes(trace))
+    assert again.program.data[64] == 123
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ValueError, match="magic"):
+        trace_from_bytes(b"NOPE" + b"\x00" * 64)
+
+
+def test_branchy_round_trip(branchy_program):
+    trace = run_program(branchy_program)
+    again = trace_from_bytes(trace_to_bytes(trace))
+    assert _entries_equal(trace, again)
+
+
+def test_large_addresses_survive(tmp_path):
+    prog = assemble("movi r1, 0x1000000\nst r1, r1, 0\nld r2, r1, 0\nhalt")
+    trace = run_program(prog)
+    again = trace_from_bytes(trace_to_bytes(trace))
+    assert _entries_equal(trace, again)

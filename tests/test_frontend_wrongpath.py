@@ -1,0 +1,77 @@
+"""Wrong-path instruction supply."""
+
+from repro.frontend import WrongPathSupplier
+from repro.isa import assemble
+
+
+def _supplier():
+    prog = assemble("""
+        movi r1, 1
+        ld r2, r1, 0
+        st r2, r1, 8
+        cmp r1, r2
+    top:
+        bne top
+        jmp top
+        halt
+    """)
+    return WrongPathSupplier(prog), prog
+
+
+def test_fetch_decodes_static_instruction():
+    supplier, prog = _supplier()
+    dyn = supplier.fetch(0, seq=100)
+    assert dyn.instr is prog.at(0)
+    assert dyn.wrong_path
+    assert dyn.seq == 100
+    assert dyn.trace_seq == -1
+
+
+def test_memory_gets_pseudo_address():
+    supplier, _ = _supplier()
+    load = supplier.fetch(1, seq=5)
+    store = supplier.fetch(2, seq=6)
+    assert load.mem_addr is not None and load.mem_addr % 8 == 0
+    assert store.mem_addr is not None
+
+
+def test_pseudo_addresses_deterministic():
+    s1, _ = _supplier()
+    s2, _ = _supplier()
+    assert s1.fetch(1, seq=5).mem_addr == s2.fetch(1, seq=5).mem_addr
+    assert s1.fetch(1, seq=6).mem_addr != s1.fetch(1, seq=5).mem_addr
+
+
+def test_non_memory_has_no_address():
+    supplier, _ = _supplier()
+    assert supplier.fetch(0, seq=1).mem_addr is None
+
+
+def test_direct_jump_follows_target():
+    supplier, prog = _supplier()
+    dyn = supplier.fetch(5, seq=1)  # jmp top
+    assert dyn.next_pc == prog.labels["top"]
+
+
+def test_conditional_reported_not_taken():
+    supplier, _ = _supplier()
+    dyn = supplier.fetch(4, seq=1)  # bne
+    assert not dyn.taken
+    assert dyn.next_pc == 5
+
+
+def test_out_of_image_returns_none():
+    supplier, _ = _supplier()
+    assert supplier.fetch(999, seq=1) is None
+
+
+def test_halt_returns_none():
+    supplier, prog = _supplier()
+    assert supplier.fetch(len(prog) - 1, seq=1) is None
+
+
+def test_supplied_counter():
+    supplier, _ = _supplier()
+    supplier.fetch(0, seq=1)
+    supplier.fetch(1, seq=2)
+    assert supplier.supplied == 2

@@ -1,0 +1,92 @@
+"""Golden-model equivalence: the strongest end-to-end check on register
+release.
+
+The cycle simulator computes every correct-path result through *physical*
+registers.  If any scheme frees a register too early, reallocation
+corrupts a value and the final architectural state diverges from the
+functional emulator.  Every scheme must match, on every workload shape,
+under register starvation and heavy misprediction."""
+
+import dataclasses
+
+import pytest
+
+from repro.frontend import final_state, run_program
+from repro.isa import assemble
+from repro.pipeline import Core, fast_test_config
+from repro.rename.schemes import SCHEME_NAMES
+from repro.workloads import PROFILES, synthesize
+
+from tests.conftest import ALL_SOURCES
+
+SCHEMES = list(SCHEME_NAMES)
+
+
+def _check(program, config, max_instructions=6000):
+    golden = final_state(program, max_instructions=max_instructions)
+    trace = run_program(program, max_instructions=max_instructions)
+    core = Core(config, trace)
+    core.run()
+    state = core.architectural_state()
+    assert state.int_regs == golden.int_regs
+    assert state.flags == golden.flags
+    assert state.vec_regs == golden.vec_regs
+    for addr, value in golden.memory.items():
+        if value:
+            assert state.memory.get(addr, 0) == value, hex(addr)
+    core.check_conservation()
+    return core
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("source", sorted(ALL_SOURCES))
+def test_fixture_programs(scheme, source):
+    program = assemble(ALL_SOURCES[source], name=source)
+    _check(program, fast_test_config(rf_size=30, scheme=scheme))
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("rf_size", [26, 40, 64])
+def test_register_pressure_sweep(scheme, rf_size, atomic_program):
+    _check(atomic_program, fast_test_config(rf_size=rf_size, scheme=scheme))
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("predictor", ["always_taken", "always_not_taken", "tage"])
+def test_under_heavy_misprediction(scheme, predictor, branchy_program):
+    _check(branchy_program,
+           fast_test_config(rf_size=26, scheme=scheme, predictor=predictor))
+
+
+@pytest.mark.parametrize("scheme", ["atr", "combined"])
+@pytest.mark.parametrize("delay", [0, 1, 2])
+def test_redefine_delay_sweep(scheme, delay, atomic_program):
+    config = dataclasses.replace(
+        fast_test_config(rf_size=26, scheme=scheme), redefine_delay=delay
+    )
+    _check(atomic_program, config)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+def test_synthetic_profiles(scheme, profile):
+    program = synthesize(PROFILES[profile], iterations=6)
+    _check(program, fast_test_config(rf_size=34, scheme=scheme))
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_narrow_counter(scheme, atomic_program):
+    """A 2-bit consumer counter saturates constantly; must stay correct."""
+    config = dataclasses.replace(
+        fast_test_config(rf_size=26, scheme=scheme), counter_bits=2
+    )
+    _check(atomic_program, config)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_kernel_slice(scheme):
+    """A real suite kernel, starved and mispredicting."""
+    from repro.workloads import builder_for
+
+    program = builder_for("531.deepsjeng_r")(iterations=12)
+    _check(program, fast_test_config(rf_size=28, scheme=scheme))

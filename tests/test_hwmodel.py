@@ -1,0 +1,163 @@
+"""Hardware model: gate netlists, the bulk-NER circuit, McPAT-lite."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hwmodel import (
+    BulkLogicSpec,
+    CorePowerModel,
+    Netlist,
+    build_bulk_ner_circuit,
+    consumer_counter_overhead,
+    evaluate_circuit,
+    reference_bulk_ner,
+    timing_report,
+)
+from repro.pipeline import golden_cove_config
+
+
+class TestNetlist:
+    def test_gate_evaluation(self):
+        n = Netlist()
+        a = n.input("a")
+        b = n.input("b")
+        n.output("and", n.and_(a, b))
+        n.output("or", n.or_(a, b))
+        n.output("xor", n.xor(a, b))
+        n.output("nand", n.nand(a, b))
+        n.output("not_a", n.not_(a))
+        out = n.evaluate({"a": True, "b": False})
+        assert out == {"and": False, "or": True, "xor": True,
+                       "nand": True, "not_a": False}
+
+    def test_gate_count_excludes_inputs(self):
+        n = Netlist()
+        a = n.input("a")
+        n.output("x", n.not_(a))
+        assert n.gate_count == 1
+
+    def test_depth_of_chain(self):
+        n = Netlist()
+        sig = n.input("a")
+        for _ in range(5):
+            sig = n.not_(sig)
+        n.output("out", sig)
+        assert n.logic_depth() == 5
+
+    def test_reduce_tree_is_logarithmic(self):
+        n = Netlist()
+        inputs = [n.input(f"i{k}") for k in range(16)]
+        n.output("out", n.reduce_tree(n.or_, inputs))
+        assert n.logic_depth() == 4
+
+    def test_equality_comparator(self):
+        n = Netlist()
+        a = [n.input(f"a{k}") for k in range(4)]
+        b = [n.input(f"b{k}") for k in range(4)]
+        n.output("eq", n.equals(a, b))
+        inputs = {f"a{k}": bool(5 >> k & 1) for k in range(4)}
+        inputs.update({f"b{k}": bool(5 >> k & 1) for k in range(4)})
+        assert n.evaluate(inputs)["eq"]
+        inputs["b0"] = not inputs["b0"]
+        assert not n.evaluate(inputs)["eq"]
+
+    def test_empty_reduce_rejected(self):
+        n = Netlist()
+        with pytest.raises(ValueError):
+            n.reduce_tree(n.or_, [])
+
+    def test_fo4_positive(self):
+        n = Netlist()
+        n.output("o", n.and_(n.input("a"), n.input("b")))
+        assert n.fo4_delay() > 0
+
+
+class TestBulkNerCircuit:
+    SPEC = BulkLogicSpec(width=4, arch_regs=8, arch_bits=3)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_circuit_matches_reference(self, data):
+        spec = self.SPEC
+        net = build_bulk_ner_circuit(spec)
+        is_breaker = data.draw(st.lists(st.booleans(), min_size=spec.width,
+                                        max_size=spec.width))
+        has_dest = data.draw(st.lists(st.booleans(), min_size=spec.width,
+                                      max_size=spec.width))
+        dest_id = data.draw(st.lists(st.integers(0, spec.arch_regs - 1),
+                                     min_size=spec.width, max_size=spec.width))
+        assert evaluate_circuit(net, spec, is_breaker, has_dest, dest_id) == \
+            reference_bulk_ner(spec, is_breaker, has_dest, dest_id)
+
+    def test_no_breaker_no_marking(self):
+        spec = self.SPEC
+        net = build_bulk_ner_circuit(spec)
+        srt, new = evaluate_circuit(net, spec, [False] * 4, [True] * 4, [0, 1, 2, 3])
+        assert not any(srt) and not any(new)
+
+    def test_breaker_marks_everything_live(self):
+        spec = self.SPEC
+        net = build_bulk_ner_circuit(spec)
+        srt, _ = evaluate_circuit(net, spec, [True, False, False, False],
+                                  [False] * 4, [0] * 4)
+        assert all(srt)
+
+    def test_in_group_redefine_shields_slot(self):
+        """Instruction 0 writes slot 3, instruction 1 is a breaker: slot
+        3's OLD ptag left the SRT before the breaker, so it is not
+        marked (its new ptag is, via ner_new)."""
+        spec = self.SPEC
+        net = build_bulk_ner_circuit(spec)
+        srt, new = evaluate_circuit(
+            net, spec,
+            is_breaker=[False, True, False, False],
+            has_dest=[True, False, False, False],
+            dest_id=[3, 0, 0, 0],
+        )
+        assert not srt[3]
+        assert all(srt[s] for s in range(8) if s != 3)
+        assert new[0]  # the in-group new ptag is marked by the breaker
+
+    def test_paper_scale_numbers(self):
+        """Section 4.4: ~2,960 gates for the 8-wide 16-register scan."""
+        report = timing_report(BulkLogicSpec())
+        assert 2000 <= report.gates <= 4000
+        assert report.logic_levels >= 10
+        assert 1.0 <= report.max_frequency_ghz <= 6.0
+        assert report.frequency_with_pipelining(3) > report.max_frequency_ghz
+
+    def test_signal_count_matches_paper(self):
+        assert BulkLogicSpec(width=8, arch_regs=16).signal_count == 23
+
+
+class TestMcPat:
+    def test_counter_overheads_match_section_44(self):
+        assert consumer_counter_overhead(64, 3) == pytest.approx(3 / 64)
+        assert consumer_counter_overhead(256, 3) == pytest.approx(3 / 256)
+
+    def test_smaller_rf_smaller_area(self):
+        big = CorePowerModel(golden_cove_config(rf_size=280)).core_area()
+        small = CorePowerModel(golden_cove_config(rf_size=204)).core_area()
+        assert small < big
+
+    def test_counter_bits_add_area(self):
+        plain = CorePowerModel(golden_cove_config(rf_size=204)).core_area()
+        with_ctr = CorePowerModel(golden_cove_config(rf_size=204),
+                                  extra_prf_bits=3).core_area()
+        assert with_ctr > plain
+
+    def test_area_saving_in_paper_regime(self):
+        """280 -> 204 registers (+3 counter bits) should save a few
+        percent of core area, like the paper's 2.7%."""
+        reference = CorePowerModel(golden_cove_config(rf_size=280)).core_area()
+        atr = CorePowerModel(golden_cove_config(rf_size=204),
+                             extra_prf_bits=3).core_area()
+        saving = 1 - atr / reference
+        assert 0.005 < saving < 0.15
+
+    def test_power_scales_with_activity(self):
+        from repro.pipeline import SimStats
+        model = CorePowerModel(golden_cove_config())
+        busy = SimStats(cycles=100, renamed=400)
+        idle = SimStats(cycles=100, renamed=10)
+        assert model.runtime_power(busy) > model.runtime_power(idle)

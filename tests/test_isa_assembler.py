@@ -1,0 +1,162 @@
+"""Unit tests for the text assembler and its round trip with render()."""
+
+import pytest
+
+from repro.isa import (
+    FLAGS,
+    AssemblyError,
+    Opcode,
+    assemble,
+    disassemble,
+    ireg,
+    vreg,
+)
+
+
+class TestParsing:
+    def test_three_reg(self):
+        prog = assemble("add r1, r2, r3")
+        instr = prog.instructions[0]
+        assert instr.opcode is Opcode.ADD
+        assert instr.dests == (ireg(1),)
+        assert instr.srcs == (ireg(2), ireg(3))
+
+    def test_movi_with_hex(self):
+        prog = assemble("movi r1, 0x10")
+        assert prog.instructions[0].imm == 16
+
+    def test_movi_negative(self):
+        prog = assemble("movi r1, -5")
+        assert prog.instructions[0].imm == -5
+
+    def test_load_with_displacement(self):
+        prog = assemble("ld r1, r2, 8")
+        instr = prog.instructions[0]
+        assert instr.dests == (ireg(1),)
+        assert instr.srcs == (ireg(2),)
+        assert instr.imm == 8
+
+    def test_load_without_displacement(self):
+        prog = assemble("ld r1, r2")
+        assert prog.instructions[0].imm == 0
+
+    def test_store_operand_order(self):
+        prog = assemble("st r1, r2, 16")
+        instr = prog.instructions[0]
+        assert instr.srcs == (ireg(1), ireg(2))  # value, base
+        assert not instr.dests
+
+    def test_cmp_writes_flags(self):
+        prog = assemble("cmp r1, r2")
+        assert prog.instructions[0].dests == (FLAGS,)
+
+    def test_branch_reads_flags(self):
+        prog = assemble("x:\nbne x")
+        assert prog.instructions[0].srcs == (FLAGS,)
+
+    def test_select_inserts_flags_source(self):
+        prog = assemble("select r1, r2, r3")
+        assert prog.instructions[0].srcs == (FLAGS, ireg(2), ireg(3))
+
+    def test_absolute_target(self):
+        prog = assemble("nop\njmp @0")
+        assert prog.instructions[1].target == 0
+
+    def test_vfma(self):
+        prog = assemble("vfma v1, v2, v3, v4")
+        assert prog.instructions[0].srcs == (vreg(2), vreg(3), vreg(4))
+
+    def test_comments_stripped(self):
+        prog = assemble("nop ; trailing\n# whole line\nnop")
+        assert len(prog) == 3  # 2 nops + halt
+
+    def test_word_directive(self):
+        prog = assemble(".word 0x100 42")
+        assert prog.data[256] == 42
+
+    def test_shift_immediate(self):
+        prog = assemble("shl r1, r2, 5")
+        assert prog.instructions[0].imm == 5
+
+
+class TestErrors:
+    @pytest.mark.parametrize("src,fragment", [
+        ("bogus r1", "unknown mnemonic"),
+        ("add r1, r2", "3 registers"),
+        ("movi r1", "immediate"),
+        ("ld r1", "base"),
+        ("jr r1, r2", "register"),
+        ("jmp", "target"),
+        ("add r1, r2, r99", "out of range"),
+        (".word 5", "takes"),
+        ("nop r1", "operands"),
+    ])
+    def test_malformed(self, src, fragment):
+        with pytest.raises(AssemblyError, match=fragment):
+            assemble(src)
+
+    def test_error_carries_line_number(self):
+        try:
+            assemble("nop\nnop\nbroken_op r1")
+        except AssemblyError as exc:
+            assert exc.lineno == 3
+        else:
+            pytest.fail("expected AssemblyError")
+
+
+class TestRoundTrip:
+    FULL = """
+start:
+    movi r1, 100
+    lea r2, r1, -8
+    add r3, r1, r2
+    sub r3, r3, r1
+    mul r4, r3, r3
+    div r5, r4, r1
+    mod r6, r4, r1
+    and r7, r5, r6
+    or r7, r7, r1
+    xor r7, r7, r2
+    shl r8, r7, 3
+    shr r8, r8, 2
+    not r9, r8
+    neg r9, r9
+    mov r10, r9
+    cmp r10, r1
+    beq skip
+    test r10, r1
+    bne skip
+    blt skip
+    bge skip
+skip:
+    select r11, r1, r2
+    st r11, r1, 0
+    ld r12, r1, 0
+    call func
+    jmp end
+func:
+    jr r15
+end:
+    vbroadcast v0, r1
+    vadd v1, v0, v0
+    vsub v2, v1, v0
+    vmul v3, v2, v1
+    vdiv v4, v3, v1
+    vfma v5, v1, v2, v3
+    vld v6, r1, 32
+    vst v6, r1, 64
+    vreduce r13, v6
+    nop
+    halt
+"""
+
+    def test_full_isa_round_trip(self):
+        prog = assemble(self.FULL, name="full")
+        again = assemble(disassemble(prog), name="full")
+        assert prog.instructions == again.instructions
+
+    def test_round_trip_twice_is_stable(self):
+        prog = assemble(self.FULL)
+        text1 = disassemble(prog)
+        text2 = disassemble(assemble(text1))
+        assert text1 == text2

@@ -1,0 +1,114 @@
+"""Unit tests for the opcode taxonomy — the classification ATR's atomic
+regions are defined by."""
+
+import pytest
+
+from repro.isa import (
+    MNEMONICS,
+    OpClass,
+    Opcode,
+    breaks_atomic_region,
+    breaks_region_control,
+    is_conditional_branch,
+    is_control,
+    is_indirect,
+    is_load,
+    is_memory,
+    is_store,
+    is_vector,
+    may_except,
+    op_class,
+)
+
+CONDITIONAL = [Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE]
+INDIRECT = [Opcode.JR, Opcode.RET]
+DIRECT = [Opcode.JMP, Opcode.CALL]
+MEMORY = [Opcode.LD, Opcode.ST, Opcode.VLD, Opcode.VST]
+DIVIDES = [Opcode.DIV, Opcode.MOD, Opcode.VDIV]
+PLAIN_ALU = [Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.LEA, Opcode.MOV,
+             Opcode.MOVI, Opcode.CMP, Opcode.TEST, Opcode.SELECT,
+             Opcode.SHL, Opcode.SHR, Opcode.NOT, Opcode.NEG, Opcode.MUL]
+PLAIN_VEC = [Opcode.VADD, Opcode.VSUB, Opcode.VMUL, Opcode.VFMA,
+             Opcode.VBROADCAST, Opcode.VREDUCE]
+
+
+def test_every_opcode_classified():
+    for op in Opcode:
+        assert op_class(op) in OpClass
+
+
+@pytest.mark.parametrize("op", CONDITIONAL)
+def test_conditional_branches(op):
+    assert is_conditional_branch(op)
+    assert is_control(op)
+    assert breaks_region_control(op)
+    assert breaks_atomic_region(op)
+    assert not may_except(op)
+
+
+@pytest.mark.parametrize("op", INDIRECT)
+def test_indirect_control(op):
+    assert is_indirect(op)
+    assert is_control(op)
+    assert breaks_region_control(op)
+    assert breaks_atomic_region(op)
+
+
+@pytest.mark.parametrize("op", DIRECT)
+def test_direct_jumps_do_not_break_regions(op):
+    """Direct unconditional control flow cannot mispredict nor fault, so
+    it does not end an atomic region (paper section 3.2)."""
+    assert is_control(op)
+    assert not breaks_region_control(op)
+    assert not breaks_atomic_region(op)
+
+
+@pytest.mark.parametrize("op", MEMORY)
+def test_memory_ops_may_except(op):
+    assert is_memory(op)
+    assert may_except(op)
+    assert breaks_atomic_region(op)
+    assert not breaks_region_control(op)
+
+
+@pytest.mark.parametrize("op", DIVIDES)
+def test_divides_may_except(op):
+    assert may_except(op)
+    assert breaks_atomic_region(op)
+    assert not is_memory(op)
+
+
+@pytest.mark.parametrize("op", PLAIN_ALU + PLAIN_VEC)
+def test_plain_ops_are_region_safe(op):
+    assert not breaks_atomic_region(op)
+    assert not may_except(op)
+    assert not is_control(op)
+
+
+def test_loads_vs_stores():
+    assert is_load(Opcode.LD) and is_load(Opcode.VLD)
+    assert not is_load(Opcode.ST)
+    assert is_store(Opcode.ST) and is_store(Opcode.VST)
+    assert not is_store(Opcode.LD)
+
+
+@pytest.mark.parametrize("op", PLAIN_VEC + [Opcode.VLD, Opcode.VST, Opcode.VDIV])
+def test_vector_classification(op):
+    assert is_vector(op)
+
+
+def test_scalar_not_vector():
+    assert not is_vector(Opcode.ADD)
+    assert not is_vector(Opcode.LD)
+
+
+def test_mnemonic_table_bijective():
+    assert len(MNEMONICS) == len(Opcode)
+    for text, op in MNEMONICS.items():
+        assert op.value == text
+
+
+def test_mul_is_not_excepting():
+    """Only divides can fault among arithmetic ops."""
+    assert not may_except(Opcode.MUL)
+    assert not may_except(Opcode.VMUL)

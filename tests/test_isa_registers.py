@@ -1,0 +1,109 @@
+"""Unit tests for the architectural register model."""
+
+import pytest
+
+from repro.isa import (
+    FLAGS,
+    INT_SRT_SLOTS,
+    NUM_INT_REGS,
+    NUM_VEC_REGS,
+    VEC_SRT_SLOTS,
+    ArchReg,
+    RegClass,
+    all_arch_regs,
+    ireg,
+    parse_reg,
+    vreg,
+)
+
+
+class TestArchReg:
+    def test_int_reg_name(self):
+        assert ireg(3).name == "r3"
+
+    def test_vec_reg_name(self):
+        assert vreg(11).name == "v11"
+
+    def test_flags_name(self):
+        assert FLAGS.name == "flags"
+
+    def test_int_reg_identity(self):
+        assert ireg(5) is ireg(5)
+
+    def test_equality_is_structural(self):
+        assert ireg(2) == ArchReg(RegClass.INT, 2)
+
+    def test_int_and_vec_differ(self):
+        assert ireg(0) != vreg(0)
+
+    def test_out_of_range_int(self):
+        with pytest.raises(IndexError):
+            ireg(NUM_INT_REGS)
+
+    def test_out_of_range_vec(self):
+        with pytest.raises(IndexError):
+            vreg(NUM_VEC_REGS)
+
+    def test_direct_construction_validates(self):
+        with pytest.raises(ValueError):
+            ArchReg(RegClass.INT, 99)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            ArchReg(RegClass.VEC, -1)
+
+    def test_flags_index_restricted(self):
+        with pytest.raises(ValueError):
+            ArchReg(RegClass.FLAGS, 1)
+
+    def test_hashable(self):
+        assert len({ireg(1), ireg(1), ireg(2)}) == 2
+
+    def test_orderable(self):
+        assert sorted([ireg(3), ireg(1)]) == [ireg(1), ireg(3)]
+
+
+class TestSrtSlots:
+    def test_int_slots_are_indices(self):
+        for i in range(NUM_INT_REGS):
+            assert ireg(i).srt_slot == i
+
+    def test_flags_slot_after_gprs(self):
+        assert FLAGS.srt_slot == NUM_INT_REGS
+
+    def test_vec_slots_are_indices(self):
+        for i in range(NUM_VEC_REGS):
+            assert vreg(i).srt_slot == i
+
+    def test_slot_counts(self):
+        assert INT_SRT_SLOTS == NUM_INT_REGS + 1
+        assert VEC_SRT_SLOTS == NUM_VEC_REGS
+
+    def test_flags_allocates_from_int_file(self):
+        assert RegClass.FLAGS.file is RegClass.INT
+
+    def test_int_file_is_itself(self):
+        assert RegClass.INT.file is RegClass.INT
+        assert RegClass.VEC.file is RegClass.VEC
+
+
+class TestParseReg:
+    @pytest.mark.parametrize("text,expected", [
+        ("r0", ireg(0)), ("r15", ireg(15)), ("v0", vreg(0)),
+        ("v15", vreg(15)), ("flags", FLAGS), ("  R3 ", ireg(3)),
+        ("FLAGS", FLAGS),
+    ])
+    def test_valid(self, text, expected):
+        assert parse_reg(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "x3", "r", "r16", "v16", "r-1", "reg1"])
+    def test_invalid(self, text):
+        with pytest.raises((ValueError, IndexError)):
+            parse_reg(text)
+
+
+def test_all_arch_regs_complete():
+    regs = all_arch_regs()
+    assert len(regs) == NUM_INT_REGS + 1 + NUM_VEC_REGS
+    assert FLAGS in regs
+    assert len(set(regs)) == len(regs)

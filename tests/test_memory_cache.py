@@ -1,0 +1,126 @@
+"""Set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import Cache
+
+
+def _cache(size=1024, ways=2, line=64, latency=3):
+    return Cache("T", size, ways, line, latency)
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = _cache()
+        assert not c.lookup(0x100)
+        c.fill(0x100)
+        assert c.lookup(0x100)
+
+    def test_same_line_shares(self):
+        c = _cache(line=64)
+        c.fill(0x100)
+        assert c.lookup(0x100 + 63)
+        assert not c.lookup(0x100 + 64)
+
+    def test_stats(self):
+        c = _cache()
+        c.lookup(0)
+        c.fill(0)
+        c.lookup(0)
+        assert c.stats.accesses == 2
+        assert c.stats.hits == 1
+        assert c.stats.misses == 1
+        assert c.stats.hit_rate == 0.5
+
+    def test_contains_has_no_side_effects(self):
+        c = _cache()
+        c.fill(0)
+        before = c.stats.accesses
+        assert c.contains(0)
+        assert c.stats.accesses == before
+
+    def test_invalidate(self):
+        c = _cache()
+        c.fill(0)
+        c.invalidate(0)
+        assert not c.contains(0)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 1024, 2, 100, 1)  # non-power-of-two line
+        with pytest.raises(ValueError):
+            Cache("bad", 64, 4, 64, 1)  # zero sets
+
+
+class TestReplacement:
+    def test_lru_evicts_least_recent(self):
+        # 2-way, line 64, size 128 -> 1 set
+        c = _cache(size=128, ways=2, line=64)
+        c.fill(0 * 64)
+        c.fill(1 * 64)
+        c.lookup(0)           # touch line 0 -> MRU
+        c.fill(2 * 64)        # evicts line 1
+        assert c.contains(0)
+        assert not c.contains(64)
+        assert c.contains(128)
+        assert c.stats.evictions == 1
+
+    def test_dirty_eviction_reports_writeback(self):
+        c = _cache(size=128, ways=1, line=64)
+        c.fill(0, dirty=True)
+        victim = c.fill(64)  # wait: different set? size128/ways1/line64 -> 2 sets
+        assert victim is None  # maps to the other set
+        victim = c.fill(128)  # same set as 0
+        assert victim == 0
+        assert c.stats.writebacks == 1
+
+    def test_write_marks_dirty(self):
+        c = _cache(size=64, ways=1, line=64)
+        c.fill(0)
+        c.lookup(0, is_write=True)
+        assert c.fill(64) == 0  # writeback of the dirtied line
+
+    def test_clean_eviction_no_writeback(self):
+        c = _cache(size=64, ways=1, line=64)
+        c.fill(0)
+        assert c.fill(64) is None
+        assert c.stats.writebacks == 0
+
+    def test_refill_existing_keeps_one_copy(self):
+        c = _cache()
+        c.fill(0)
+        c.fill(0)
+        assert c.resident_blocks == 1
+
+
+class TestPrefetchTagging:
+    def test_prefetch_hit_counted_once(self):
+        c = _cache()
+        c.fill(0, prefetched=True)
+        c.lookup(0)
+        c.lookup(0)
+        assert c.stats.prefetch_fills == 1
+        assert c.stats.prefetch_hits == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 14), min_size=1, max_size=200))
+def test_occupancy_never_exceeds_capacity(addresses):
+    """Property: resident blocks never exceed sets x ways, and a just-filled
+    block is always resident."""
+    c = _cache(size=512, ways=2, line=64)  # 4 sets x 2 ways = 8 blocks
+    for addr in addresses:
+        if not c.lookup(addr):
+            c.fill(addr)
+        assert c.contains(addr)
+        assert c.resident_blocks <= 8
+
+
+@settings(max_examples=20, deadline=None)
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 12), min_size=1, max_size=100))
+def test_stats_account_every_access(addresses):
+    c = _cache()
+    for addr in addresses:
+        c.lookup(addr) or c.fill(addr)
+    assert c.stats.hits + c.stats.misses == c.stats.accesses == len(addresses)

@@ -1,0 +1,261 @@
+"""Free list, RAT, checkpoint pool, and PRT unit tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rename import (
+    CheckpointPool,
+    DoubleFreeError,
+    FreeList,
+    FreeListEmptyError,
+    PhysRegTable,
+    RegisterAliasTable,
+)
+
+
+class TestFreeList:
+    def test_allocates_all_then_empty(self):
+        fl = FreeList(4)
+        ptags = [fl.allocate() for _ in range(4)]
+        assert sorted(ptags) == [0, 1, 2, 3]
+        with pytest.raises(FreeListEmptyError):
+            fl.allocate()
+
+    def test_free_returns_for_reuse(self):
+        fl = FreeList(2)
+        a = fl.allocate()
+        fl.allocate()
+        fl.free(a)
+        assert fl.allocate() == a
+
+    def test_fifo_order(self):
+        fl = FreeList(3)
+        a, b, _c = fl.allocate(), fl.allocate(), fl.allocate()
+        fl.free(b)
+        fl.free(a)
+        assert fl.allocate() == b
+        assert fl.allocate() == a
+
+    def test_double_free_detected(self):
+        fl = FreeList(2)
+        a = fl.allocate()
+        fl.free(a)
+        with pytest.raises(DoubleFreeError):
+            fl.free(a)
+
+    def test_free_of_never_allocated_detected(self):
+        fl = FreeList(2)
+        with pytest.raises(DoubleFreeError):
+            fl.free(0)
+
+    def test_out_of_range_rejected(self):
+        fl = FreeList(2)
+        with pytest.raises(ValueError):
+            fl.free(5)
+
+    def test_watermark_tracks_minimum(self):
+        fl = FreeList(4)
+        fl.allocate()
+        fl.allocate()
+        a = fl.allocate()
+        fl.free(a)
+        assert fl.min_free_watermark == 1
+
+    def test_conservation_check_passes(self):
+        fl = FreeList(4)
+        live = [fl.allocate(), fl.allocate()]
+        fl.check_conservation(live)
+
+    def test_conservation_detects_leak(self):
+        fl = FreeList(4)
+        fl.allocate()
+        with pytest.raises(AssertionError, match="leaked"):
+            fl.check_conservation([])
+
+    def test_conservation_detects_overlap(self):
+        fl = FreeList(4)
+        a = fl.allocate()
+        fl.free(a)
+        with pytest.raises(AssertionError, match="both"):
+            fl.check_conservation([a])
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=st.lists(st.booleans(), max_size=200))
+    def test_conservation_invariant_under_random_ops(self, ops):
+        """Property: alloc/free in any order preserves the partition."""
+        fl = FreeList(8)
+        live = []
+        for do_alloc in ops:
+            if do_alloc and fl.free_count:
+                live.append(fl.allocate())
+            elif live:
+                fl.free(live.pop(0))
+            fl.check_conservation(live)
+            assert fl.free_count + len(live) == 8
+
+
+class TestRAT:
+    def test_initial_identity(self):
+        rat = RegisterAliasTable(4)
+        assert rat.live_ptags() == (0, 1, 2, 3)
+
+    def test_write_returns_previous(self):
+        rat = RegisterAliasTable(4)
+        assert rat.write(2, 9) == 2
+        assert rat.read(2) == 9
+
+    def test_snapshot_restore(self):
+        rat = RegisterAliasTable(4)
+        rat.write(0, 8)
+        snap = rat.snapshot()
+        rat.write(0, 9)
+        rat.restore(snap)
+        assert rat.read(0) == 8
+
+    def test_snapshot_isolated_from_mutation(self):
+        rat = RegisterAliasTable(2)
+        snap = rat.snapshot()
+        rat.write(0, 5)
+        assert snap == (0, 1)
+
+    def test_size_mismatch_rejected(self):
+        rat = RegisterAliasTable(2)
+        with pytest.raises(ValueError):
+            rat.restore((1, 2, 3))
+
+
+class TestCheckpointPool:
+    def test_take_until_full(self):
+        pool = CheckpointPool(capacity=2)
+        assert pool.take(1, ("a",))
+        assert pool.take(2, ("b",))
+        assert not pool.take(3, ("c",))
+        assert pool.overflowed == 1
+
+    def test_exact_lookup(self):
+        pool = CheckpointPool()
+        pool.take(5, ("x",))
+        assert pool.has_exact(5)
+        assert not pool.has_exact(6)
+
+    def test_nearest_older(self):
+        pool = CheckpointPool()
+        pool.take(2, ("a",))
+        pool.take(6, ("b",))
+        assert pool.nearest_older(7) == (6, ("b",))
+        assert pool.nearest_older(5) == (2, ("a",))
+        assert pool.nearest_older(1) is None
+
+    def test_release_older_equal(self):
+        pool = CheckpointPool()
+        pool.take(2, ("a",))
+        pool.take(6, ("b",))
+        assert pool.release_older_equal(2) == 1
+        assert not pool.has_exact(2)
+        assert pool.has_exact(6)
+
+    def test_squash_younger(self):
+        pool = CheckpointPool()
+        pool.take(2, ("a",))
+        pool.take(6, ("b",))
+        assert pool.squash_younger(2) == 1
+        assert pool.has_exact(2)
+        assert not pool.has_exact(6)
+
+
+class TestPhysRegTable:
+    def test_counter_tracks_consumers(self):
+        prt = PhysRegTable(8)
+        prt.on_allocate(3, cycle=0, seq=0)
+        prt.add_consumer(3)
+        prt.add_consumer(3)
+        assert prt.consumers(3) == 2
+        assert not prt.remove_consumer(3)
+        assert prt.remove_consumer(3)  # reached zero
+
+    def test_counter_saturates_sticky(self):
+        prt = PhysRegTable(8, counter_bits=3)
+        prt.on_allocate(0, 0, 0)
+        for _ in range(10):
+            prt.add_consumer(0)
+        assert prt.consumers(0) == prt.overflow
+        assert not prt.remove_consumer(0)  # sticky, never reaches zero
+        assert prt.consumers(0) == prt.overflow
+        assert prt.is_no_early_release(0)
+        assert prt.saturation_events == 1
+
+    def test_three_bit_counter_tracks_six(self):
+        prt = PhysRegTable(8, counter_bits=3)
+        prt.on_allocate(0, 0, 0)
+        for _ in range(6):
+            prt.add_consumer(0)
+        assert prt.consumers(0) == 6
+        assert not prt.is_no_early_release(0)
+
+    def test_ner_separate_from_count(self):
+        prt = PhysRegTable(8)
+        prt.on_allocate(0, 0, 0)
+        prt.add_consumer(0)
+        prt.mark_ner(0)
+        assert prt.is_no_early_release(0)
+        assert prt.consumers(0) == 1  # count survives NER marking
+
+    def test_bulk_marking(self):
+        prt = PhysRegTable(8)
+        for p in range(4):
+            prt.on_allocate(p, 0, 0)
+        assert prt.bulk_no_early_release([0, 1, 2]) == 3
+        assert prt.bulk_no_early_release([0, 1, 2]) == 0  # idempotent
+        assert not prt.is_no_early_release(3)
+
+    def test_allocation_resets_state(self):
+        prt = PhysRegTable(8)
+        prt.on_allocate(0, 0, 0)
+        prt.add_consumer(0)
+        prt.mark_ner(0)
+        prt.mark_redefined(0, 5)
+        prt.on_allocate(0, 10, 1)
+        assert prt.consumers(0) == 0
+        assert not prt.is_no_early_release(0)
+        assert not prt.is_redefined(0)
+        assert not prt.is_written(0)
+
+    def test_epoch_bumps_per_allocation(self):
+        prt = PhysRegTable(8)
+        prt.on_allocate(0, 0, 0)
+        e1 = prt.epoch(0)
+        prt.on_allocate(0, 1, 1)
+        assert prt.epoch(0) == e1 + 1
+
+    def test_redefined_visibility_delay(self):
+        prt = PhysRegTable(8)
+        prt.on_allocate(0, 0, 0)
+        prt.mark_redefined(0, visible_cycle=10)
+        assert prt.is_redefined(0)
+        assert not prt.redefined_visible(0, 9)
+        assert prt.redefined_visible(0, 10)
+
+    def test_written_gate(self):
+        prt = PhysRegTable(8)
+        prt.on_allocate(0, 0, 0)
+        assert not prt.is_written(0)
+        prt.mark_written(0)
+        assert prt.is_written(0)
+
+    def test_initial_entries_born_ready(self):
+        prt = PhysRegTable(8)
+        assert prt.is_written(0)  # never allocated: architectural state
+
+    def test_undo_consumer_skips_overflow_and_zero(self):
+        prt = PhysRegTable(8, counter_bits=2)
+        prt.on_allocate(0, 0, 0)
+        prt.undo_consumer(0)  # at zero: no-op
+        assert prt.consumers(0) == 0
+        for _ in range(5):
+            prt.add_consumer(0)
+        prt.undo_consumer(0)  # at overflow: no-op
+        assert prt.consumers(0) == prt.overflow
+
+    def test_minimum_counter_width(self):
+        with pytest.raises(ValueError):
+            PhysRegTable(8, counter_bits=1)

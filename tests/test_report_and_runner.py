@@ -1,0 +1,45 @@
+"""Experiment runner/report helpers not covered elsewhere."""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import (
+    clear_result_cache,
+    default_fp_suite,
+    default_instructions,
+    default_int_suite,
+    region_report,
+    suite_speedup,
+)
+from repro.workloads import SPEC_FP, SPEC_INT
+
+
+def test_default_suites_match_registry():
+    assert tuple(default_int_suite()) == SPEC_INT
+    assert tuple(default_fp_suite()) == SPEC_FP
+
+
+def test_default_instructions_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "1234")
+    assert default_instructions() == 1234
+    monkeypatch.delenv("REPRO_BENCH_INSTRUCTIONS")
+    assert default_instructions() == 5000
+
+
+def test_region_report_cached():
+    a = region_report("xz", 1000)
+    b = region_report("xz", 1000)
+    assert a is b
+
+
+def test_suite_speedup_small():
+    value = suite_speedup(["531.deepsjeng_r"], 64, "nonspec_er",
+                          instructions=1500)
+    assert -0.2 < value < 3.0
+
+
+def test_clear_result_cache():
+    region_report("xz", 1000)
+    clear_result_cache()  # must not raise; next call recomputes
+    region_report("xz", 1000)

@@ -1,0 +1,146 @@
+"""Workloads: suite registry, kernels, synthesis, SimPoint-lite."""
+
+import pytest
+
+from repro.frontend import run_program
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    PROFILES,
+    SPEC_FP,
+    SPEC_INT,
+    WorkloadProfile,
+    basic_block_vectors,
+    build_trace,
+    builder_for,
+    is_fp,
+    kmeans,
+    pick_simpoints,
+    resolve,
+    slice_trace,
+    synthesize,
+    weighted_mean,
+)
+
+import numpy as np
+
+
+class TestSuiteRegistry:
+    def test_table2_benchmark_counts(self):
+        """Paper Table 2: 10 integer + 13 floating-point benchmarks."""
+        assert len(SPEC_INT) == 10
+        assert len(SPEC_FP) == 13
+        assert len(ALL_BENCHMARKS) == 23
+
+    def test_paper_names_present(self):
+        for name in ("505.mcf_r", "520.omnetpp_r", "508.namd_r", "549.fotonik3d_r"):
+            assert name in ALL_BENCHMARKS
+
+    def test_resolve_short_names(self):
+        assert resolve("mcf") == "505.mcf_r"
+        assert resolve("548.exchange2_r") == "548.exchange2_r"
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            resolve("doom")
+
+    def test_is_fp(self):
+        assert is_fp("508.namd_r")
+        assert not is_fp("505.mcf_r")
+
+    def test_builder_for_unknown(self):
+        with pytest.raises(KeyError):
+            builder_for("nope")
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_every_kernel_builds_and_runs(self, name):
+        trace = build_trace(name, 1500)
+        assert len(trace) == 1500
+        assert trace.name == name
+
+    def test_trace_cache_returns_same_object(self):
+        a = build_trace("mcf", 1500)
+        b = build_trace("mcf", 1500)
+        assert a is b
+
+    def test_traces_are_deterministic(self):
+        a = build_trace("xz", 1200, use_cache=False)
+        b = build_trace("xz", 1200, use_cache=False)
+        assert all(x.pc == y.pc and x.mem_addr == y.mem_addr
+                   for x, y in zip(a.entries, b.entries))
+
+    def test_fp_kernels_use_vector_registers(self):
+        trace = build_trace("namd", 1500)
+        from repro.isa import is_vector
+        assert any(is_vector(e.instr.opcode) for e in trace)
+
+    def test_int_kernels_branch_density_plausible(self):
+        trace = build_trace("leela", 2000)
+        assert 0.05 < trace.summary()["branch_ratio"] < 0.4
+
+
+class TestSynthesis:
+    def test_profiles_generate_runnable_programs(self):
+        for profile in PROFILES.values():
+            trace = run_program(synthesize(profile, iterations=2),
+                                max_instructions=3000)
+            assert len(trace) > 10
+
+    def test_taken_bias_respected(self):
+        low = WorkloadProfile(branch_prob=1.0, taken_bias=0.15, blocks=12, seed=3)
+        high = WorkloadProfile(branch_prob=1.0, taken_bias=0.85, blocks=12, seed=3)
+        t_low = run_program(synthesize(low, iterations=12), max_instructions=8000)
+        t_high = run_program(synthesize(high, iterations=12), max_instructions=8000)
+        assert t_low.summary()["taken_ratio"] < t_high.summary()["taken_ratio"]
+
+    def test_vector_weight_emits_vectors(self):
+        from repro.isa import is_vector
+        profile = WorkloadProfile(vec_weight=5, blocks=6, seed=1)
+        trace = run_program(synthesize(profile, iterations=2), max_instructions=2000)
+        assert any(is_vector(e.instr.opcode) for e in trace)
+
+    def test_same_seed_same_program(self):
+        p = WorkloadProfile(seed=42)
+        assert synthesize(p, 2).instructions == synthesize(p, 2).instructions
+
+
+class TestSimPoint:
+    def test_bbv_rows_are_distributions(self):
+        trace = build_trace("deepsjeng", 4000)
+        bbvs, leaders = basic_block_vectors(trace, interval=500)
+        assert bbvs.shape[1] == len(leaders)
+        assert np.allclose(bbvs.sum(axis=1), 1.0)
+
+    def test_kmeans_assigns_all_rows(self):
+        rng = np.random.default_rng(0)
+        data = np.vstack([rng.normal(0, 0.1, (10, 4)), rng.normal(5, 0.1, (10, 4))])
+        assignment = kmeans(data, k=2, seed=1)
+        assert len(assignment) == 20
+        # the two blobs separate
+        assert len(set(assignment[:10])) == 1
+        assert len(set(assignment[10:])) == 1
+        assert assignment[0] != assignment[10]
+
+    def test_simpoint_weights_sum_to_one(self):
+        trace = build_trace("x264", 6000)
+        simpoints = pick_simpoints(trace, interval=1000, max_k=4)
+        assert simpoints
+        assert sum(sp.weight for sp in simpoints) == pytest.approx(1.0)
+
+    def test_slice_respects_bounds(self):
+        trace = build_trace("x264", 6000)
+        simpoints = pick_simpoints(trace, interval=1000, max_k=3)
+        for sp in simpoints:
+            sub = slice_trace(trace, sp)
+            assert len(sub) == sp.length
+            assert sub.entries[0].seq == 0
+
+    def test_weighted_mean(self):
+        trace = build_trace("xz", 4000)
+        simpoints = pick_simpoints(trace, interval=1000, max_k=3)
+        assert weighted_mean([2.0] * len(simpoints), simpoints) == pytest.approx(2.0)
+
+    def test_weighted_mean_validates_length(self):
+        trace = build_trace("xz", 4000)
+        simpoints = pick_simpoints(trace, interval=1000, max_k=2)
+        with pytest.raises(ValueError):
+            weighted_mean([1.0] * (len(simpoints) + 1), simpoints)
