@@ -48,6 +48,23 @@ class RegionChain:
     def closed(self) -> bool:
         return self.redefine_seq is not None
 
+    def to_dict(self) -> Dict:
+        return {
+            "file": self.file.name,
+            "slot": self.slot,
+            "alloc_seq": self.alloc_seq,
+            "redefine_seq": self.redefine_seq,
+            "consumers": self.consumers,
+            "non_branch": self.non_branch,
+            "non_except": self.non_except,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RegionChain":
+        data = dict(data)
+        data["file"] = RegClass[data["file"]]
+        return cls(**data)
+
 
 @dataclass
 class RegionReport:
@@ -97,6 +114,16 @@ class RegionReport:
         if not chains:
             return 0.0
         return sum(c.consumers for c in chains) / len(chains)
+
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "chains": [c.to_dict() for c in self.chains]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RegionReport":
+        return cls(
+            name=data["name"],
+            chains=[RegionChain.from_dict(c) for c in data["chains"]],
+        )
 
 
 class _OpenChain:

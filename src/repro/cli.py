@@ -5,7 +5,13 @@ Commands:
 * ``run`` — simulate one benchmark under one configuration and print the
   stats (IPC, stalls, release breakdown).
 * ``compare`` — all four schemes side by side on one benchmark.
-* ``figure`` — regenerate one of the paper's figures (fig01..fig15, sec44).
+* ``figure`` — regenerate one of the paper's figures (fig01..fig15,
+  sec44), or ``all`` of them; ``--jobs N`` shards the sweep over worker
+  processes and the persistent result store makes re-runs warm.
+* ``sweep`` — run an explicit benchmark x rf-size x scheme grid through
+  the parallel harness and print the IPC table.
+* ``cache`` — inspect (``info``) or empty (``clear``) the persistent
+  result store (``~/.cache/repro`` or ``$REPRO_CACHE_DIR``).
 * ``analyze`` — trace-level atomic-region analysis of a benchmark.
 * ``list`` — the benchmark suite (paper Table 2).
 * ``disasm`` — disassemble a benchmark's kernel program.
@@ -16,6 +22,13 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -45,10 +58,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", help="fig01|fig04|fig06|fig10|fig11|fig12|"
-                                     "fig13|fig14|fig15|sec44")
+                                     "fig13|fig14|fig15|sec44|all")
     figure.add_argument("-n", "--instructions", type=int, default=None)
     figure.add_argument("--quick", action="store_true",
                         help="2 int + 2 fp benchmarks only")
+    figure.add_argument("-j", "--jobs", type=_positive_int, default=None,
+                        help="worker processes for the sweep "
+                             "(default: all cores)")
+    figure.add_argument("-v", "--verbose", action="store_true",
+                        help="per-cell progress lines on stderr")
+
+    swp = sub.add_parser("sweep", help="run a benchmark x rf x scheme grid "
+                                       "through the parallel harness")
+    swp.add_argument("-b", "--benchmarks", default="mcf,deepsjeng,bwaves,namd",
+                     help="comma-separated suite names")
+    swp.add_argument("-r", "--rf-sizes", default="64",
+                     help="comma-separated register file sizes")
+    swp.add_argument("-s", "--schemes",
+                     default="baseline,nonspec_er,atr,combined",
+                     help="comma-separated release schemes")
+    swp.add_argument("-n", "--instructions", type=int, default=None)
+    swp.add_argument("-d", "--redefine-delay", type=int, default=0)
+    swp.add_argument("-j", "--jobs", type=_positive_int, default=None,
+                     help="worker processes (default: all cores)")
+    swp.add_argument("-v", "--verbose", action="store_true",
+                     help="per-cell progress lines on stderr")
+
+    cache = sub.add_parser("cache", help="manage the persistent result store")
+    cache.add_argument("action", choices=["info", "clear"])
 
     analyze = sub.add_parser("analyze", help="atomic-region analysis")
     _add_common(analyze)
@@ -105,32 +142,140 @@ def _cmd_compare(args) -> int:
     return 0
 
 
-def _cmd_figure(args) -> int:
-    import os
+def _figure_kwargs(module, args) -> dict:
+    """Per-figure ``run()`` kwargs from CLI flags, matched to its signature.
 
-    from .experiments import ALL_FIGURES
+    The instruction count is threaded through as a parameter — never via
+    ``REPRO_BENCH_INSTRUCTIONS`` — so one command cannot leak scale into
+    the next (or poison cache keys) through process-global state.
+    """
+    import inspect
 
-    module = ALL_FIGURES.get(args.name)
-    if module is None:
-        print(f"unknown figure {args.name!r}; known: {', '.join(ALL_FIGURES)}",
-              file=sys.stderr)
-        return 2
-    if args.instructions:
-        os.environ["REPRO_BENCH_INSTRUCTIONS"] = str(args.instructions)
+    params = inspect.signature(module.run).parameters
     kwargs = {}
-    if args.quick and args.name not in ("sec44",):
+    if args.instructions and "instructions" in params:
+        kwargs["instructions"] = args.instructions
+    if "jobs" in params:
+        kwargs["jobs"] = args.jobs if args.jobs is not None else _default_jobs()
+    if args.quick:
         int2 = ["505.mcf_r", "531.deepsjeng_r"]
         fp2 = ["503.bwaves_r", "508.namd_r"]
-        import inspect
-
-        params = inspect.signature(module.run).parameters
         if "int_benchmarks" in params:
             kwargs["int_benchmarks"] = int2
             kwargs["fp_benchmarks"] = fp2
         elif "benchmarks" in params:
             kwargs["benchmarks"] = int2 + fp2
-    result = module.run(**kwargs)
-    print(result.render())
+    return kwargs
+
+
+def _default_jobs() -> int:
+    import os
+
+    return os.cpu_count() or 1
+
+
+def _sweep_progress(verbose: bool):
+    from .harness import SweepProgress
+
+    return SweepProgress(stream=sys.stderr, verbose=verbose)
+
+
+def _cmd_figure(args) -> int:
+    from .experiments import ALL_FIGURES
+    from .harness import SweepError, set_default_progress
+
+    if args.name == "all":
+        names = list(ALL_FIGURES)
+    elif args.name in ALL_FIGURES:
+        names = [args.name]
+    else:
+        print(f"unknown figure {args.name!r}; known: "
+              f"{', '.join(ALL_FIGURES)}, all", file=sys.stderr)
+        return 2
+
+    progress = _sweep_progress(args.verbose)
+    set_default_progress(progress)
+    failed = []
+    try:
+        for name in names:
+            module = ALL_FIGURES[name]
+            if len(names) > 1:
+                print(f"=== {name} ===")
+            try:
+                result = module.run(**_figure_kwargs(module, args))
+            except SweepError as error:
+                failed.append(name)
+                print(f"{name}: {error}", file=sys.stderr)
+                continue
+            print(result.render())
+            if len(names) > 1:
+                print()
+    finally:
+        set_default_progress(None)
+    progress.emit_summary()
+    if failed:
+        print(f"FAILED figures: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments.report import format_table
+    from .experiments.runner import cell_spec
+    from .harness import sweep
+    from .workloads import resolve
+
+    benchmarks = [resolve(b.strip()) for b in args.benchmarks.split(",") if b.strip()]
+    rf_sizes = [int(r) for r in args.rf_sizes.split(",") if r.strip()]
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    specs = [
+        cell_spec(benchmark, rf_size, scheme, args.instructions,
+                  redefine_delay=args.redefine_delay)
+        for benchmark in benchmarks
+        for rf_size in rf_sizes
+        for scheme in schemes
+    ]
+    progress = _sweep_progress(args.verbose)
+    report = sweep(specs, jobs=args.jobs if args.jobs is not None
+                   else _default_jobs(), progress=progress)
+    rows = []
+    for benchmark in benchmarks:
+        for rf_size in rf_sizes:
+            row = [benchmark, rf_size]
+            for scheme in schemes:
+                spec = cell_spec(benchmark, rf_size, scheme, args.instructions,
+                                 redefine_delay=args.redefine_delay)
+                cell = report.results.get(spec)
+                row.append(f"{cell.ipc:.3f}" if cell is not None else "FAIL")
+            rows.append(row)
+    print(format_table(["benchmark", "rf"] + schemes, rows,
+                       title="sweep: IPC per cell"))
+    progress.emit_summary()
+    if report.failures:
+        for failure in report.failures:
+            print(f"failed: {failure.describe()}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .harness import ResultStore
+
+    store = ResultStore()
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) from {store.root}")
+        return 0
+    info = store.info()
+    print(f"cache root:       {info['root']}")
+    print(f"code fingerprint: {info['fingerprint'][:16]}")
+    print(f"entries:          {info['entries']} ({info['bytes']} bytes)")
+    for generation in info["generations"]:
+        marker = "  <- current" if generation["current"] else ""
+        print(f"  {generation['name']}: {generation['entries']} entries, "
+              f"{generation['bytes']} bytes{marker}")
+    if not info["generations"]:
+        print("  (empty)")
     return 0
 
 
@@ -175,6 +320,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "figure": _cmd_figure,
+    "sweep": _cmd_sweep,
+    "cache": _cmd_cache,
     "analyze": _cmd_analyze,
     "list": _cmd_list,
     "disasm": _cmd_disasm,

@@ -9,12 +9,17 @@ from . import expectations, fig01, fig04, fig06, fig10, fig11, fig12, fig13, fig
 from .report import compare_line, format_table, pct, shorten
 from .runner import (
     CellResult,
+    CellSpec,
+    RegionSpec,
+    cell_spec,
     clear_result_cache,
     default_fp_suite,
     default_instructions,
     default_int_suite,
     geomean,
     mean,
+    prime_cells,
+    prime_regions,
     region_report,
     run_cell,
     speedup,
@@ -28,7 +33,8 @@ ALL_FIGURES = {
 }
 
 __all__ = [
-    "run_cell", "CellResult", "region_report", "clear_result_cache",
+    "run_cell", "CellResult", "CellSpec", "RegionSpec", "cell_spec",
+    "region_report", "clear_result_cache", "prime_cells", "prime_regions",
     "geomean", "mean", "speedup", "suite_speedup",
     "default_instructions", "default_int_suite", "default_fp_suite",
     "format_table", "compare_line", "pct", "shorten",

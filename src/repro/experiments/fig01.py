@@ -13,7 +13,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from . import expectations
 from .report import format_table, shorten
-from .runner import default_instructions, default_int_suite, mean, run_cell
+from .runner import (
+    cell_spec,
+    default_instructions,
+    default_int_suite,
+    mean,
+    prime_cells,
+    run_cell,
+)
 
 #: The "infinite" configuration: more registers than the 512-entry ROB
 #: can ever hold live, so rename never stalls on the free list.
@@ -52,9 +59,16 @@ def run(
     benchmarks: Optional[Sequence[str]] = None,
     sizes: Sequence[int] = DEFAULT_SIZES,
     instructions: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> Fig01Result:
     benchmarks = list(default_int_suite() if benchmarks is None else benchmarks)
     instructions = instructions or default_instructions()
+    if jobs is not None:
+        prime_cells(
+            [cell_spec(b, size, "baseline", instructions)
+             for b in benchmarks for size in (IDEAL_RF, *sizes)],
+            jobs=jobs,
+        )
     normalized: Dict[str, Dict[int, float]] = {}
     for benchmark in benchmarks:
         ideal = run_cell(benchmark, IDEAL_RF, "baseline", instructions).ipc

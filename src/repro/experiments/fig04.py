@@ -17,9 +17,11 @@ from ..isa import RegClass
 from . import expectations
 from .report import compare_line, format_table, shorten
 from .runner import (
+    cell_spec,
     default_fp_suite,
     default_instructions,
     default_int_suite,
+    prime_cells,
     run_cell,
 )
 
@@ -63,11 +65,18 @@ def run(
     fp_benchmarks: Optional[Sequence[str]] = None,
     rf_size: int = 280,
     instructions: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> Fig04Result:
     int_benchmarks = list(default_int_suite() if int_benchmarks is None else int_benchmarks)
     fp_benchmarks = list(default_fp_suite() if fp_benchmarks is None else fp_benchmarks)
     instructions = instructions or default_instructions()
-
+    if jobs is not None:
+        prime_cells(
+            [cell_spec(b, rf_size, "baseline", instructions,
+                       record_register_events=True)
+             for b in int_benchmarks + fp_benchmarks],
+            jobs=jobs,
+        )
     per_benchmark: Dict[str, LifetimeShares] = {}
     int_records = []
     fp_records = []

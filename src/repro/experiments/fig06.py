@@ -14,10 +14,12 @@ from typing import Dict, Optional, Sequence
 from . import expectations
 from .report import compare_line, format_table, shorten
 from .runner import (
+    RegionSpec,
     default_fp_suite,
     default_instructions,
     default_int_suite,
     mean,
+    prime_regions,
     region_report,
 )
 
@@ -55,10 +57,16 @@ def run(
     int_benchmarks: Optional[Sequence[str]] = None,
     fp_benchmarks: Optional[Sequence[str]] = None,
     instructions: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> Fig06Result:
     int_benchmarks = list(default_int_suite() if int_benchmarks is None else int_benchmarks)
     fp_benchmarks = list(default_fp_suite() if fp_benchmarks is None else fp_benchmarks)
     instructions = instructions or default_instructions()
+    if jobs is not None:
+        prime_regions(
+            [RegionSpec(b, instructions) for b in int_benchmarks + fp_benchmarks],
+            jobs=jobs,
+        )
     ratios: Dict[str, Dict[str, float]] = {}
     for benchmark in int_benchmarks + fp_benchmarks:
         report = region_report(benchmark, instructions)

@@ -14,10 +14,12 @@ from typing import Dict, Optional, Sequence, Tuple
 from . import expectations
 from .report import compare_line, format_table, pct, shorten
 from .runner import (
+    cell_spec,
     default_fp_suite,
     default_instructions,
     default_int_suite,
     mean,
+    prime_cells,
     run_cell,
     speedup,
 )
@@ -92,10 +94,19 @@ def run(
     fp_benchmarks: Optional[Sequence[str]] = None,
     sizes: Sequence[int] = DEFAULT_SIZES,
     instructions: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> Fig10Result:
     int_benchmarks = list(default_int_suite() if int_benchmarks is None else int_benchmarks)
     fp_benchmarks = list(default_fp_suite() if fp_benchmarks is None else fp_benchmarks)
     instructions = instructions or default_instructions()
+    if jobs is not None:
+        prime_cells(
+            [cell_spec(b, rf_size, scheme, instructions)
+             for b in int_benchmarks + fp_benchmarks
+             for rf_size in sizes
+             for scheme in ("baseline",) + SCHEMES],
+            jobs=jobs,
+        )
     speedups: Dict[Tuple[str, int, str], float] = {}
     for benchmark in int_benchmarks + fp_benchmarks:
         for rf_size in sizes:

@@ -12,10 +12,12 @@ from typing import Dict, Optional, Sequence, Tuple
 from . import expectations
 from .report import compare_line, format_table, pct, shorten
 from .runner import (
+    cell_spec,
     default_fp_suite,
     default_instructions,
     default_int_suite,
     mean,
+    prime_cells,
     run_cell,
     speedup,
 )
@@ -40,22 +42,32 @@ class Fig11Result:
         for benchmark in list(self.int_benchmarks) + list(self.fp_benchmarks):
             rows.append([shorten(benchmark)]
                         + [pct(self.speedups[(benchmark, s)]) for s in self.sizes])
-        rows.append(["INT AVERAGE"] + [pct(self.average("int", s)) for s in self.sizes])
-        rows.append(["FP AVERAGE"] + [pct(self.average("fp", s)) for s in self.sizes])
+        # A suite may be empty (e.g. an int-only sweep); averages over an
+        # empty suite are undefined, so skip those rows entirely.
+        if self.int_benchmarks:
+            rows.append(["INT AVERAGE"]
+                        + [pct(self.average("int", s)) for s in self.sizes])
+        if self.fp_benchmarks:
+            rows.append(["FP AVERAGE"]
+                        + [pct(self.average("fp", s)) for s in self.sizes])
         table = format_table(headers, rows,
                              title="Figure 11: ATR speedup over baseline vs RF size")
         lo, hi = min(self.sizes), max(self.sizes)
-        lines = [
-            table, "",
-            compare_line(f"int @{lo}", self.average("int", lo),
-                         expectations.FIG11_ATR_AT_64["int"]),
-            compare_line(f"fp  @{lo}", self.average("fp", lo),
-                         expectations.FIG11_ATR_AT_64["fp"]),
-            compare_line(f"int @{hi}", self.average("int", hi),
-                         expectations.FIG11_ATR_AT_280["int"]),
-            compare_line(f"fp  @{hi}", self.average("fp", hi),
-                         expectations.FIG11_ATR_AT_280["fp"]),
-        ]
+        lines = [table, ""]
+        if self.int_benchmarks:
+            lines += [
+                compare_line(f"int @{lo}", self.average("int", lo),
+                             expectations.FIG11_ATR_AT_64["int"]),
+                compare_line(f"int @{hi}", self.average("int", hi),
+                             expectations.FIG11_ATR_AT_280["int"]),
+            ]
+        if self.fp_benchmarks:
+            lines += [
+                compare_line(f"fp  @{lo}", self.average("fp", lo),
+                             expectations.FIG11_ATR_AT_64["fp"]),
+                compare_line(f"fp  @{hi}", self.average("fp", hi),
+                             expectations.FIG11_ATR_AT_280["fp"]),
+            ]
         return "\n".join(lines)
 
 
@@ -64,10 +76,19 @@ def run(
     fp_benchmarks: Optional[Sequence[str]] = None,
     sizes: Sequence[int] = DEFAULT_SIZES,
     instructions: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> Fig11Result:
     int_benchmarks = list(default_int_suite() if int_benchmarks is None else int_benchmarks)
     fp_benchmarks = list(default_fp_suite() if fp_benchmarks is None else fp_benchmarks)
     instructions = instructions or default_instructions()
+    if jobs is not None:
+        prime_cells(
+            [cell_spec(b, rf_size, scheme, instructions)
+             for b in int_benchmarks + fp_benchmarks
+             for rf_size in sizes
+             for scheme in ("baseline", "atr")],
+            jobs=jobs,
+        )
     speedups: Dict[Tuple[str, int], float] = {}
     for benchmark in int_benchmarks + fp_benchmarks:
         for rf_size in sizes:

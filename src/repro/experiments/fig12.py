@@ -13,9 +13,11 @@ from typing import Dict, Optional, Sequence
 from . import expectations
 from .report import format_table, shorten
 from .runner import (
+    RegionSpec,
     default_fp_suite,
     default_instructions,
     default_int_suite,
+    prime_regions,
     region_report,
 )
 
@@ -57,10 +59,14 @@ class Fig12Result:
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     instructions: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> Fig12Result:
     if benchmarks is None:
         benchmarks = list(default_int_suite()) + list(default_fp_suite())
     instructions = instructions or default_instructions()
+    if jobs is not None:
+        prime_regions([RegionSpec(b, instructions) for b in benchmarks],
+                      jobs=jobs)
     histograms: Dict[str, Dict[int, int]] = {}
     means: Dict[str, float] = {}
     for benchmark in benchmarks:

@@ -14,9 +14,11 @@ from typing import Dict, Optional, Sequence, Tuple
 from . import expectations
 from .report import format_table, pct, shorten
 from .runner import (
+    cell_spec,
     default_instructions,
     default_int_suite,
     mean,
+    prime_cells,
     run_cell,
     speedup,
 )
@@ -64,9 +66,17 @@ def run(
     benchmarks: Optional[Sequence[str]] = None,
     rf_size: int = 64,
     instructions: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> Fig13Result:
     benchmarks = list(default_int_suite() if benchmarks is None else benchmarks)
     instructions = instructions or default_instructions()
+    if jobs is not None:
+        prime_cells(
+            [cell_spec(b, rf_size, "baseline", instructions) for b in benchmarks]
+            + [cell_spec(b, rf_size, "atr", instructions, redefine_delay=d)
+               for b in benchmarks for d in DELAYS],
+            jobs=jobs,
+        )
     speedups: Dict[Tuple[str, int], float] = {}
     for benchmark in benchmarks:
         base = run_cell(benchmark, rf_size, "baseline", instructions)

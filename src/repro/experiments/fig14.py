@@ -17,10 +17,14 @@ from typing import Dict, Optional, Sequence
 from ..analysis import EventTiming, atomic_event_timing
 from .report import format_table, shorten
 from .runner import (
+    RegionSpec,
+    cell_spec,
     default_fp_suite,
     default_instructions,
     default_int_suite,
     mean,
+    prime_cells,
+    prime_regions,
     region_report,
     run_cell,
 )
@@ -41,13 +45,14 @@ class Fig14Result:
                 timing.chains,
             ])
         populated = [t for t in self.timings.values() if t.chains]
-        rows.append([
-            "AVERAGE",
-            f"{mean(t.rename_to_redefine for t in populated):.1f}",
-            f"{mean(t.rename_to_consume for t in populated):.1f}",
-            f"{mean(t.rename_to_commit for t in populated):.1f}",
-            sum(t.chains for t in populated),
-        ])
+        if populated:
+            rows.append([
+                "AVERAGE",
+                f"{mean(t.rename_to_redefine for t in populated):.1f}",
+                f"{mean(t.rename_to_consume for t in populated):.1f}",
+                f"{mean(t.rename_to_commit for t in populated):.1f}",
+                sum(t.chains for t in populated),
+            ])
         table = format_table(
             ["benchmark", "to-redefine", "to-consume", "to-commit", "chains"],
             rows,
@@ -69,10 +74,19 @@ def run(
     benchmarks: Optional[Sequence[str]] = None,
     rf_size: int = 280,
     instructions: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> Fig14Result:
     if benchmarks is None:
         benchmarks = list(default_int_suite()) + list(default_fp_suite())
     instructions = instructions or default_instructions()
+    if jobs is not None:
+        prime_cells(
+            [cell_spec(b, rf_size, "baseline", instructions,
+                       record_register_events=True) for b in benchmarks],
+            jobs=jobs,
+        )
+        prime_regions([RegionSpec(b, instructions) for b in benchmarks],
+                      jobs=jobs)
     timings: Dict[str, EventTiming] = {}
     for benchmark in benchmarks:
         cell = run_cell(benchmark, rf_size, "baseline", instructions,

@@ -16,9 +16,11 @@ from ..pipeline import golden_cove_config
 from . import expectations
 from .report import compare_line, format_table
 from .runner import (
+    cell_spec,
     default_instructions,
     default_int_suite,
     mean,
+    prime_cells,
     run_cell,
 )
 
@@ -68,7 +70,10 @@ class Fig15Result:
         return "\n".join(lines)
 
 
-def _suite_ipc(benchmarks, rf_size, scheme, instructions) -> float:
+def _suite_ipc(benchmarks, rf_size, scheme, instructions, jobs=None) -> float:
+    if jobs is not None:
+        prime_cells([cell_spec(b, rf_size, scheme, instructions)
+                     for b in benchmarks], jobs=jobs)
     return mean(
         run_cell(b, rf_size, scheme, instructions).ipc for b in benchmarks
     )
@@ -82,20 +87,22 @@ def minimum_rf_size(
     lo: int = 48,
     hi: int = 280,
     step: int = 4,
+    jobs: Optional[int] = None,
 ) -> int:
     """Smallest RF size (on a *step* grid) whose suite IPC >= target.
 
     Suite IPC is monotone in RF size to within noise, so a binary search
-    over the grid suffices.
+    over the grid suffices.  The search is sequential across sizes, but
+    each probe's suite sweeps in parallel with *jobs* workers.
     """
     lo_idx, hi_idx = 0, (hi - lo) // step
     # Ensure the target is achievable at the top of the range.
-    if _suite_ipc(benchmarks, hi, scheme, instructions) < target_ipc:
+    if _suite_ipc(benchmarks, hi, scheme, instructions, jobs) < target_ipc:
         return hi
     while lo_idx < hi_idx:
         mid = (lo_idx + hi_idx) // 2
         size = lo + mid * step
-        if _suite_ipc(benchmarks, size, scheme, instructions) >= target_ipc:
+        if _suite_ipc(benchmarks, size, scheme, instructions, jobs) >= target_ipc:
             hi_idx = mid
         else:
             lo_idx = mid + 1
@@ -108,11 +115,13 @@ def run(
     slowdown_budget: float = 0.03,
     instructions: Optional[int] = None,
     step: int = 4,
+    jobs: Optional[int] = None,
 ) -> Fig15Result:
     benchmarks = list(default_int_suite() if benchmarks is None else benchmarks)
     instructions = instructions or default_instructions()
 
-    reference_ipc = _suite_ipc(benchmarks, reference_rf, "baseline", instructions)
+    reference_ipc = _suite_ipc(benchmarks, reference_rf, "baseline",
+                               instructions, jobs)
     target = reference_ipc * (1 - slowdown_budget)
 
     required: Dict[str, int] = {}
@@ -126,7 +135,8 @@ def run(
 
     for scheme in SCHEMES:
         required[scheme] = minimum_rf_size(
-            benchmarks, scheme, target, instructions, hi=reference_rf, step=step
+            benchmarks, scheme, target, instructions, hi=reference_rf, step=step,
+            jobs=jobs,
         )
         config = golden_cove_config(rf_size=required[scheme])
         model = CorePowerModel(config, extra_prf_bits=_EXTRA_BITS[scheme])

@@ -10,6 +10,7 @@ vector).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..hwmodel import BulkLogicSpec, TimingReport, consumer_counter_overhead, timing_report
 from . import expectations
@@ -47,7 +48,10 @@ class Sec44Result:
         return "\n".join(lines)
 
 
-def run(spec: BulkLogicSpec = BulkLogicSpec()) -> Sec44Result:
+def run(spec: BulkLogicSpec = BulkLogicSpec(),
+        jobs: Optional[int] = None) -> Sec44Result:
+    # *jobs* accepted for CLI uniformity; the synthesis study has no
+    # sweepable cells.
     return Sec44Result(
         timing=timing_report(spec),
         counter_overhead_int=consumer_counter_overhead(64, 3),

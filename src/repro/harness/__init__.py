@@ -1,0 +1,52 @@
+"""repro.harness — parallel sweep engine with a persistent result store.
+
+The experiment layer used to simulate one cell at a time in-process,
+with a cache that died with the interpreter.  This package makes sweep
+execution a first-class subsystem:
+
+* **job model** (:mod:`.spec`, :mod:`.jobs`): hashable `CellSpec` /
+  `RegionSpec` identify one unit of work; `execute_spec` produces the
+  result in any process.
+* **serialization** (:mod:`.serialize`): one JSON encoding for both the
+  worker pipe and the on-disk store.
+* **store** (:mod:`.store`): content-addressed cache under
+  ``~/.cache/repro`` (``$REPRO_CACHE_DIR``), keyed by spec digest and a
+  code-version fingerprint — warm across invocations, auto-invalidated
+  on simulator edits.
+* **scheduler** (:mod:`.scheduler`): shards cold specs over forked
+  workers (``--jobs N``), per-cell timeout + one retry, serial fallback.
+* **progress** (:mod:`.progress`): live narration + end-of-sweep summary.
+* **sweep** (:mod:`.sweep`): the one call sites use — dedup, warm-cache
+  lookup, schedule, persist.
+"""
+
+from .jobs import CellResult, analyze_regions, execute_spec, simulate_cell
+from .progress import SweepProgress
+from .scheduler import CellFailure, default_timeout, resolve_jobs, run_specs
+from .serialize import (
+    decode_cell_result,
+    decode_result,
+    encode_cell_result,
+    encode_result,
+)
+from .spec import CellSpec, RegionSpec, Spec, spec_digest, spec_from_dict, spec_to_dict
+from .store import ResultStore, cache_root, code_fingerprint, default_store
+from .sweep import (
+    SweepError,
+    SweepReport,
+    get_default_progress,
+    set_default_progress,
+    sweep,
+)
+
+__all__ = [
+    "CellSpec", "RegionSpec", "Spec", "spec_digest", "spec_to_dict",
+    "spec_from_dict",
+    "CellResult", "execute_spec", "simulate_cell", "analyze_regions",
+    "encode_result", "decode_result", "encode_cell_result", "decode_cell_result",
+    "ResultStore", "default_store", "cache_root", "code_fingerprint",
+    "CellFailure", "run_specs", "resolve_jobs", "default_timeout",
+    "SweepProgress",
+    "sweep", "SweepReport", "SweepError",
+    "set_default_progress", "get_default_progress",
+]

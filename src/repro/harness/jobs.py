@@ -1,0 +1,81 @@
+"""Job execution: turn a spec into a result, in any process.
+
+This module is the *only* place experiment work actually happens; the
+scheduler runs :func:`execute_spec` either inline (serial mode) or inside
+a worker process.  It deliberately imports from the simulator packages
+(`pipeline`, `workloads`, `analysis`) and never from `experiments`, so
+``experiments`` can build on the harness without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..analysis import RegionReport, classify_regions
+from ..pipeline import Core, CoreConfig, SimStats, golden_cove_config
+from ..rename.schemes import SchemeStats
+from ..workloads import build_trace, is_fp
+from .spec import CellSpec, RegionSpec, Spec
+
+
+@dataclass
+class CellResult:
+    """One simulated (benchmark, configuration) cell."""
+
+    benchmark: str
+    scheme: str
+    rf_size: int
+    instructions: int
+    stats: SimStats
+    scheme_stats: SchemeStats
+    event_records: Optional[list] = None
+    region_report: Optional[RegionReport] = None
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def is_fp(self) -> bool:
+        return is_fp(self.benchmark)
+
+
+def simulate_cell(spec: CellSpec, config: Optional[CoreConfig] = None) -> CellResult:
+    """Run one timing simulation (uncached; see the sweep layer for caching)."""
+    if config is None:
+        config = golden_cove_config(
+            rf_size=spec.rf_size,
+            scheme=spec.scheme,
+            redefine_delay=spec.redefine_delay,
+            record_register_events=spec.record_register_events,
+        )
+        # Value execution is a correctness harness, not a performance
+        # model; experiments disable it for speed (tests keep it on).
+        config = replace(config, execute_values=False)
+    trace = build_trace(spec.benchmark, spec.instructions)
+    core = Core(config, trace)
+    stats = core.run()
+    return CellResult(
+        benchmark=spec.benchmark,
+        scheme=spec.scheme,
+        rf_size=spec.rf_size,
+        instructions=spec.instructions,
+        stats=stats,
+        scheme_stats=core.scheme.stats,
+        event_records=(core.event_log.records if core.event_log else None),
+    )
+
+
+def analyze_regions(spec: RegionSpec) -> RegionReport:
+    """Trace-level region classification (no simulation needed)."""
+    return classify_regions(build_trace(spec.benchmark, spec.instructions))
+
+
+def execute_spec(spec: Spec):
+    """Dispatch a spec to its executor; the scheduler's default worker."""
+    if isinstance(spec, CellSpec):
+        return simulate_cell(spec)
+    if isinstance(spec, RegionSpec):
+        return analyze_regions(spec)
+    raise TypeError(f"unknown spec type {type(spec).__name__}")

@@ -1,0 +1,96 @@
+"""Sweep observability: per-cell progress lines and end-of-sweep summary.
+
+The scheduler and sweep layers drive one :class:`SweepProgress` per
+sweep.  With a stream attached (the CLI passes stderr) it narrates cache
+hits, completions, retries, and failures as they happen; either way it
+accumulates the numbers for :meth:`summary`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import IO, List, Optional, Tuple
+
+PROGRESS_ENV = "REPRO_PROGRESS"
+
+
+def env_verbose() -> bool:
+    return os.environ.get(PROGRESS_ENV, "").lower() in ("1", "true", "yes", "on")
+
+
+class SweepProgress:
+    """Counters + optional live narration for one sweep."""
+
+    def __init__(self, stream: Optional[IO[str]] = None, verbose: bool = False):
+        self.stream = stream
+        self.verbose = verbose or env_verbose()
+        self.total = 0
+        self.hits = 0
+        self.completed = 0
+        self.failed = 0
+        self.retries = 0
+        self.cell_times: List[Tuple[str, float]] = []
+        self._started_at: Optional[float] = None
+
+    # -- events ------------------------------------------------------------------
+    def start(self, total: int) -> None:
+        self.total += total
+        if self._started_at is None:
+            self._started_at = time.monotonic()
+
+    def hit(self, spec) -> None:
+        self.hits += 1
+        self._line(f"[cache {self._count()}] {spec.describe()}")
+
+    def done(self, spec, elapsed: float) -> None:
+        self.completed += 1
+        self.cell_times.append((spec.describe(), elapsed))
+        self._line(f"[done  {self._count()}] {spec.describe()} {elapsed:.2f}s")
+
+    def retry(self, spec, reason: str) -> None:
+        self.retries += 1
+        self._line(f"[retry       ] {spec.describe()}: {reason}")
+
+    def fail(self, spec, error: str) -> None:
+        self.failed += 1
+        self._line(f"[FAIL  {self._count()}] {spec.describe()}: {error}")
+
+    # -- reporting ---------------------------------------------------------------
+    @property
+    def wall_time(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    @property
+    def cpu_time(self) -> float:
+        """Summed per-cell wall time (= CPU time spent simulating)."""
+        return sum(elapsed for _name, elapsed in self.cell_times)
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.total} cells: {self.completed} simulated, "
+            f"{self.hits} cache hits, {self.failed} failed"
+        ]
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        parts.append(f"wall {self.wall_time:.1f}s")
+        if self.cell_times:
+            slowest_name, slowest = max(self.cell_times, key=lambda item: item[1])
+            mean = self.cpu_time / len(self.cell_times)
+            parts.append(f"sim {self.cpu_time:.1f}s "
+                         f"(mean {mean:.2f}s, slowest {slowest_name} {slowest:.2f}s)")
+        return "sweep: " + ", ".join(parts)
+
+    def emit_summary(self) -> None:
+        if self.stream is not None:
+            print(self.summary(), file=self.stream, flush=True)
+
+    # -- plumbing ----------------------------------------------------------------
+    def _count(self) -> str:
+        return f"{self.hits + self.completed + self.failed}/{self.total}"
+
+    def _line(self, text: str) -> None:
+        if self.stream is not None and self.verbose:
+            print(text, file=self.stream, flush=True)

@@ -1,0 +1,183 @@
+"""Sweep scheduler: shard specs over worker processes, isolate failures.
+
+Each cold spec runs in its own forked worker with a per-cell deadline;
+a worker that hangs is terminated and the cell retried once (then
+reported as a failure without sinking the sweep).  Results travel back
+through the same JSON encoding the persistent store uses, so parallel
+and serial execution produce byte-identical result objects.
+
+With ``jobs=1`` — or on platforms without the ``fork`` start method —
+the scheduler degrades to plain in-process execution (no per-cell
+timeout there: you cannot preempt your own process).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .jobs import execute_spec
+from .progress import SweepProgress
+from .serialize import decode_result, encode_result
+from .spec import Spec
+
+TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
+DEFAULT_RETRIES = 1
+#: Seconds between scheduler polls of the worker pipes.
+_POLL_INTERVAL = 0.05
+
+
+def default_timeout() -> float:
+    return float(os.environ.get(TIMEOUT_ENV, "600"))
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _fork_context():
+    try:
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+    except (ValueError, AttributeError):  # pragma: no cover - exotic platforms
+        pass
+    return None
+
+
+@dataclass
+class CellFailure:
+    """One spec that could not be computed (after retries)."""
+
+    spec: Spec
+    error: str
+    attempts: int
+
+    def describe(self) -> str:
+        return (f"{self.spec.describe()}: {self.error} "
+                f"(after {self.attempts} attempt{'s' if self.attempts != 1 else ''})")
+
+
+def _worker(executor: Callable, spec: Spec, conn) -> None:
+    """Worker-process body: compute, encode, report over the pipe."""
+    try:
+        payload = encode_result(executor(spec))
+        conn.send(("ok", payload))
+    except BaseException as exc:  # isolate *any* cell failure
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def run_specs(
+    specs: List[Spec],
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    executor: Optional[Callable] = None,
+    progress: Optional[SweepProgress] = None,
+) -> Tuple[List[Tuple[Spec, object]], List[CellFailure]]:
+    """Execute every spec; returns (completed ``(spec, result)``, failures).
+
+    Order of the completed list follows completion time in parallel mode;
+    callers index results by spec, never by position.
+    """
+    executor = executor or execute_spec
+    progress = progress or SweepProgress()
+    timeout = default_timeout() if timeout is None else timeout
+    jobs = resolve_jobs(jobs)
+    context = _fork_context()
+    if jobs <= 1 or context is None:
+        return _run_serial(specs, retries, executor, progress)
+    return _run_parallel(specs, jobs, timeout, retries, executor, progress, context)
+
+
+def _run_serial(specs, retries, executor, progress):
+    results: List[Tuple[Spec, object]] = []
+    failures: List[CellFailure] = []
+    for spec in specs:
+        for attempt in range(1, retries + 2):
+            started = time.monotonic()
+            try:
+                # Round-trip through the wire encoding so serial results are
+                # indistinguishable from parallel (and store-decoded) ones.
+                result = decode_result(encode_result(executor(spec)))
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                if attempt <= retries:
+                    progress.retry(spec, error)
+                    continue
+                progress.fail(spec, error)
+                failures.append(CellFailure(spec, error, attempt))
+            else:
+                results.append((spec, result))
+                progress.done(spec, time.monotonic() - started)
+            break
+    return results, failures
+
+
+def _run_parallel(specs, jobs, timeout, retries, executor, progress, context):
+    results: List[Tuple[Spec, object]] = []
+    failures: List[CellFailure] = []
+    pending = deque((spec, 1) for spec in specs)
+    #: receive-pipe -> (spec, attempt, process, started)
+    running: Dict[object, tuple] = {}
+
+    def settle(spec, attempt, error):
+        if attempt <= retries:
+            progress.retry(spec, error)
+            pending.append((spec, attempt + 1))
+        else:
+            progress.fail(spec, error)
+            failures.append(CellFailure(spec, error, attempt))
+
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                spec, attempt = pending.popleft()
+                receiver, sender = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_worker, args=(executor, spec, sender), daemon=True)
+                process.start()
+                sender.close()  # child's end; keep only the read side here
+                running[receiver] = (spec, attempt, process, time.monotonic())
+
+            for receiver in connection.wait(list(running), timeout=_POLL_INTERVAL):
+                spec, attempt, process, started = running.pop(receiver)
+                try:
+                    status, payload = receiver.recv()
+                except EOFError:
+                    status = "error"
+                    payload = f"worker died (exit code {process.exitcode})"
+                process.join()
+                receiver.close()
+                if status == "ok":
+                    results.append((spec, decode_result(payload)))
+                    progress.done(spec, time.monotonic() - started)
+                else:
+                    settle(spec, attempt, payload)
+
+            now = time.monotonic()
+            for receiver, (spec, attempt, process, started) in list(running.items()):
+                if now - started >= timeout:
+                    del running[receiver]
+                    process.terminate()
+                    process.join(1.0)
+                    receiver.close()
+                    settle(spec, attempt, f"timeout after {timeout:.0f}s")
+    finally:
+        for _spec, _attempt, process, _started in running.values():
+            process.terminate()
+            process.join(1.0)
+    return results, failures

@@ -1,0 +1,75 @@
+"""Job specifications: the hashable identity of one unit of work.
+
+A spec is everything needed to (re)produce one result — and *nothing*
+else.  Two figures asking for the same ``(benchmark, rf_size, scheme,
+instructions, redefine_delay, record_register_events)`` cell share one
+spec, one simulation, and one cache entry.  Specs are frozen dataclasses
+(usable as dict keys) with a canonical JSON form whose SHA-256 digest,
+combined with the code-version fingerprint, addresses the persistent
+store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Union
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One timing simulation: benchmark x machine configuration."""
+
+    benchmark: str
+    rf_size: int
+    scheme: str
+    instructions: int
+    redefine_delay: int = 0
+    record_register_events: bool = False
+
+    kind = "cell"
+
+    def describe(self) -> str:
+        extra = ""
+        if self.redefine_delay:
+            extra += f" d{self.redefine_delay}"
+        if self.record_register_events:
+            extra += " +events"
+        return f"{self.benchmark}/rf{self.rf_size}/{self.scheme}{extra}"
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One trace-level atomic-region classification (no timing sim)."""
+
+    benchmark: str
+    instructions: int
+
+    kind = "regions"
+
+    def describe(self) -> str:
+        return f"{self.benchmark}/regions"
+
+
+Spec = Union[CellSpec, RegionSpec]
+
+_SPEC_TYPES = {CellSpec.kind: CellSpec, RegionSpec.kind: RegionSpec}
+
+
+def spec_to_dict(spec: Spec) -> Dict:
+    data = asdict(spec)
+    data["kind"] = spec.kind
+    return data
+
+
+def spec_from_dict(data: Dict) -> Spec:
+    data = dict(data)
+    cls = _SPEC_TYPES[data.pop("kind")]
+    return cls(**data)
+
+
+def spec_digest(spec: Spec) -> str:
+    """Content hash of the spec's canonical JSON form."""
+    payload = json.dumps(spec_to_dict(spec), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

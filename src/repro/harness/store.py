@@ -1,0 +1,155 @@
+"""Persistent result store: content-addressed JSON files on disk.
+
+Layout::
+
+    <root>/                     ~/.cache/repro, or $REPRO_CACHE_DIR
+      v-<fingerprint16>/        one generation per code version
+        <kind>-<digest16>.json  {"spec": ..., "result": ..., "elapsed": ...}
+
+The *code fingerprint* is a SHA-256 over every ``.py`` source of the
+``repro`` package, so editing the simulator silently invalidates the
+cache (stale generations stay on disk until ``repro cache clear``).
+Writes are atomic (tmp file + rename); corrupt or unreadable entries
+read as misses and are removed.  Set ``REPRO_NO_CACHE=1`` to disable the
+default store entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from .serialize import decode_result, encode_result
+from .spec import Spec, spec_digest, spec_to_dict
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+DEFAULT_CACHE_DIR = "~/.cache/repro"
+
+_fingerprint_cache: Dict[str, str] = {}
+
+
+def cache_root() -> Path:
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR).expanduser()
+
+
+def code_fingerprint() -> str:
+    """SHA-256 of the ``repro`` package sources (cached per process)."""
+    package_dir = Path(__file__).resolve().parent.parent
+    key = str(package_dir)
+    if key not in _fingerprint_cache:
+        digest = hashlib.sha256()
+        for path in sorted(package_dir.rglob("*.py")):
+            digest.update(str(path.relative_to(package_dir)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _fingerprint_cache[key] = digest.hexdigest()
+    return _fingerprint_cache[key]
+
+
+class ResultStore:
+    """Spec-addressed result cache under one root directory."""
+
+    def __init__(self, root: Optional[Path] = None,
+                 fingerprint: Optional[str] = None):
+        self.root = Path(root) if root is not None else cache_root()
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    # -- paths -------------------------------------------------------------------
+    @property
+    def generation_dir(self) -> Path:
+        return self.root / f"v-{self.fingerprint[:16]}"
+
+    def path_for(self, spec: Spec) -> Path:
+        return self.generation_dir / f"{spec.kind}-{spec_digest(spec)[:16]}.json"
+
+    # -- access ------------------------------------------------------------------
+    def get(self, spec: Spec):
+        """The stored result for *spec*, or None on a miss."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+            result = decode_result(payload["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt entry (interrupted write of an old layout, truncated
+            # file): drop it and recompute.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: Spec, result, elapsed: Optional[float] = None) -> Path:
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "spec": spec_to_dict(spec),
+            "result": encode_result(result),
+            "elapsed": elapsed,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            os.unlink(tmp)
+            raise
+        return path
+
+    # -- management --------------------------------------------------------------
+    def info(self) -> Dict:
+        generations = []
+        total_entries = 0
+        total_bytes = 0
+        if self.root.is_dir():
+            for directory in sorted(self.root.glob("v-*")):
+                entries = list(directory.glob("*.json"))
+                size = sum(p.stat().st_size for p in entries)
+                generations.append({
+                    "name": directory.name,
+                    "entries": len(entries),
+                    "bytes": size,
+                    "current": directory == self.generation_dir,
+                })
+                total_entries += len(entries)
+                total_bytes += size
+        return {
+            "root": str(self.root),
+            "fingerprint": self.fingerprint,
+            "generations": generations,
+            "entries": total_entries,
+            "bytes": total_bytes,
+        }
+
+    def clear(self) -> int:
+        """Delete every cached entry (all generations); returns the count."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for directory in self.root.glob("v-*"):
+            for path in directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+            try:
+                directory.rmdir()
+            except OSError:
+                pass
+        return removed
+
+
+def default_store() -> Optional[ResultStore]:
+    """The process-default store, or None when caching is disabled."""
+    if os.environ.get(NO_CACHE_ENV, "").lower() in ("1", "true", "yes", "on"):
+        return None
+    return ResultStore()

@@ -10,7 +10,7 @@ turns into Figures 4 and 14.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from ..isa import RegClass
@@ -53,6 +53,14 @@ class SimStats:
         self.committed += 1
         self.committed_by_class[op_class] = self.committed_by_class.get(op_class, 0) + 1
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (see :mod:`repro.harness.serialize`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimStats":
+        return cls(**data)
+
 
 class RegisterLifetime:
     """One committed-path allocation chain of a physical register.
@@ -93,6 +101,20 @@ class RegisterLifetime:
     @property
     def complete(self) -> bool:
         return self.redefiner_commit_cycle is not None
+
+    def to_dict(self) -> Dict:
+        data = {slot: getattr(self, slot) for slot in self.__slots__}
+        data["file"] = self.file.name
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RegisterLifetime":
+        lifetime = cls(RegClass[data["file"]], data["ptag"],
+                       data["alloc_seq"], data["alloc_cycle"])
+        for slot in cls.__slots__:
+            if slot not in ("file", "ptag", "alloc_seq", "alloc_cycle"):
+                setattr(lifetime, slot, data[slot])
+        return lifetime
 
 
 class RegisterEventLog:

@@ -29,7 +29,7 @@ Entries expose: ``seq``, ``instr``, ``dests`` (:class:`DestRecord` list),
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Iterable, List
 
 from ...isa import RegClass
@@ -62,6 +62,21 @@ class SchemeStats:
 
     def record_claim_consumers(self, count: int) -> None:
         self.claim_consumers[count] = self.claim_consumers.get(count, 0) + 1
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form; histogram keys become strings in JSON,
+        so :meth:`from_dict` converts them back to ints."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["claim_consumers"] = dict(self.claim_consumers)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SchemeStats":
+        data = dict(data)
+        data["claim_consumers"] = {
+            int(k): v for k, v in data.get("claim_consumers", {}).items()
+        }
+        return cls(**data)
 
 
 class ReleaseScheme:

@@ -6,6 +6,21 @@ from repro.frontend import run_program
 from repro.isa import assemble
 
 
+@pytest.fixture(scope="session")
+def _session_cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("repro-cache")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_store(_session_cache_dir, monkeypatch):
+    """Keep the harness's persistent store out of ~/.cache during tests.
+
+    One session-scoped directory (not per-test) so overlapping experiment
+    tests still share warm results, exactly as production does.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(_session_cache_dir))
+
+
 LOOP_SRC = """
     movi r1, 30
     movi r2, 0

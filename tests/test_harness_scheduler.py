@@ -1,0 +1,121 @@
+"""Scheduler: sharding, failure isolation, per-cell timeout with retry.
+
+Custom executors run in forked workers, so closures over tmp_path work;
+marker files let an executor behave differently on its second attempt.
+"""
+
+import os
+import time
+
+from repro.harness import CellSpec, run_specs
+
+SPECS = [CellSpec(name, 64, "atr", 100) for name in ("a", "b", "c")]
+
+
+def _echo(spec):
+    return {"name": spec.benchmark}
+
+
+class TestSharding:
+    def test_parallel_runs_every_spec(self):
+        results, failures = run_specs(SPECS, jobs=2, executor=_echo)
+        assert not failures
+        assert {spec.benchmark for spec, _r in results} == {"a", "b", "c"}
+        assert all(result == {"name": spec.benchmark} for spec, result in results)
+
+    def test_serial_runs_in_process(self):
+        pids = []
+
+        def executor(spec):
+            pids.append(os.getpid())
+            return spec.benchmark
+
+        results, failures = run_specs(SPECS, jobs=1, executor=executor)
+        assert not failures and len(results) == 3
+        assert set(pids) == {os.getpid()}
+
+    def test_parallel_runs_out_of_process(self):
+        def executor(spec):
+            return os.getpid()
+
+        results, failures = run_specs(SPECS, jobs=2, executor=executor)
+        assert not failures
+        assert os.getpid() not in {result for _spec, result in results}
+
+
+class TestFailureIsolation:
+    def test_one_bad_cell_does_not_sink_the_sweep(self):
+        def executor(spec):
+            if spec.benchmark == "b":
+                raise ValueError("injected")
+            return spec.benchmark
+
+        results, failures = run_specs(SPECS, jobs=2, retries=0, executor=executor)
+        assert {spec.benchmark for spec, _r in results} == {"a", "c"}
+        assert len(failures) == 1
+        assert failures[0].spec.benchmark == "b"
+        assert "injected" in failures[0].error
+
+    def test_worker_death_is_an_error_not_a_hang(self):
+        def executor(spec):
+            os._exit(3)
+
+        results, failures = run_specs(SPECS[:1], jobs=2, retries=0,
+                                      executor=executor)
+        assert not results
+        assert len(failures) == 1
+        assert "worker died" in failures[0].error
+
+    def test_exception_retried_then_succeeds(self, tmp_path):
+        def executor(spec):
+            marker = tmp_path / spec.benchmark
+            if not marker.exists():
+                marker.write_text("tried")
+                raise RuntimeError("transient")
+            return "recovered"
+
+        results, failures = run_specs(SPECS[:1], jobs=2, retries=1,
+                                      executor=executor)
+        assert not failures
+        assert results[0][1] == "recovered"
+
+    def test_serial_retry_matches_parallel_semantics(self, tmp_path):
+        def executor(spec):
+            marker = tmp_path / spec.benchmark
+            if not marker.exists():
+                marker.write_text("tried")
+                raise RuntimeError("transient")
+            return "recovered"
+
+        results, failures = run_specs(SPECS[:1], jobs=1, retries=1,
+                                      executor=executor)
+        assert not failures
+        assert results[0][1] == "recovered"
+
+
+class TestTimeout:
+    def test_hanging_cell_times_out_then_retry_succeeds(self, tmp_path):
+        def executor(spec):
+            marker = tmp_path / spec.benchmark
+            if not marker.exists():
+                marker.write_text("hung")
+                time.sleep(60)
+            return "after-retry"
+
+        started = time.monotonic()
+        results, failures = run_specs(SPECS[:1], jobs=2, timeout=1.0,
+                                      retries=1, executor=executor)
+        assert time.monotonic() - started < 30  # terminated, not joined
+        assert not failures
+        assert results[0][1] == "after-retry"
+
+    def test_persistent_hang_exhausts_retries(self):
+        def executor(spec):
+            time.sleep(60)
+
+        results, failures = run_specs(SPECS[:1], jobs=2, timeout=0.5,
+                                      retries=1, executor=executor)
+        assert not results
+        assert len(failures) == 1
+        assert failures[0].attempts == 2
+        assert "timeout" in failures[0].error

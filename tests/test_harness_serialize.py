@@ -1,0 +1,117 @@
+"""Serialization round-trips: worker pipe and store share one encoding."""
+
+import json
+
+import pytest
+
+from repro.harness import (
+    CellSpec,
+    RegionSpec,
+    analyze_regions,
+    decode_result,
+    encode_result,
+    simulate_cell,
+    spec_digest,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.pipeline import SimStats
+from repro.rename.schemes import SchemeStats
+
+
+def _json_roundtrip(result):
+    """Encode -> JSON text -> decode, exactly as the store does."""
+    return decode_result(json.loads(json.dumps(encode_result(result))))
+
+
+class TestSpecs:
+    def test_cell_spec_roundtrip(self):
+        spec = CellSpec("505.mcf_r", 64, "atr", 1200, redefine_delay=2,
+                        record_register_events=True)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_region_spec_roundtrip(self):
+        spec = RegionSpec("557.xz_r", 900)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_digest_depends_on_every_field(self):
+        base = CellSpec("mcf", 64, "atr", 1200)
+        assert spec_digest(base) == spec_digest(CellSpec("mcf", 64, "atr", 1200))
+        for other in (
+            CellSpec("xz", 64, "atr", 1200),
+            CellSpec("mcf", 96, "atr", 1200),
+            CellSpec("mcf", 64, "baseline", 1200),
+            CellSpec("mcf", 64, "atr", 1300),
+            CellSpec("mcf", 64, "atr", 1200, redefine_delay=1),
+            CellSpec("mcf", 64, "atr", 1200, record_register_events=True),
+        ):
+            assert spec_digest(other) != spec_digest(base)
+
+    def test_specs_are_dict_keys(self):
+        cells = {CellSpec("mcf", 64, "atr", 1200): 1,
+                 RegionSpec("mcf", 1200): 2}
+        assert cells[CellSpec("mcf", 64, "atr", 1200)] == 1
+        assert cells[RegionSpec("mcf", 1200)] == 2
+
+
+class TestSimStats:
+    def test_roundtrip(self):
+        stats = SimStats(cycles=100, committed=70, fetched=150,
+                         committed_by_class={"alu": 50, "mem": 20},
+                         stall_freelist=7)
+        back = SimStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert back == stats
+        assert back.ipc == stats.ipc
+
+
+class TestSchemeStats:
+    def test_roundtrip_restores_int_histogram_keys(self):
+        stats = SchemeStats(atr_frees=5, commit_frees=9,
+                            claim_consumers={0: 3, 2: 1})
+        back = SchemeStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert back == stats
+        assert all(isinstance(k, int) for k in back.claim_consumers)
+
+
+class TestCellResult:
+    def test_roundtrip_plain_cell(self):
+        result = simulate_cell(CellSpec("505.mcf_r", 64, "atr", 1200))
+        back = _json_roundtrip(result)
+        assert back.stats == result.stats
+        assert back.scheme_stats == result.scheme_stats
+        assert back.ipc == result.ipc
+        assert back.event_records is None
+
+    def test_roundtrip_with_event_records(self):
+        result = simulate_cell(
+            CellSpec("531.deepsjeng_r", 128, "baseline", 1200,
+                     record_register_events=True))
+        back = _json_roundtrip(result)
+        assert len(back.event_records) == len(result.event_records)
+        for original, restored in zip(result.event_records, back.event_records):
+            assert restored.file is original.file
+            assert restored.ptag == original.ptag
+            assert restored.alloc_cycle == original.alloc_cycle
+            assert restored.last_consume_cycle == original.last_consume_cycle
+            assert restored.redefiner_commit_cycle == original.redefiner_commit_cycle
+
+
+class TestRegionReport:
+    def test_roundtrip_preserves_figures(self):
+        report = analyze_regions(RegionSpec("505.mcf_r", 1200))
+        back = _json_roundtrip(report)
+        assert back.name == report.name
+        assert back.total_allocations == report.total_allocations
+        for kind in ("non_branch", "non_except", "atomic"):
+            assert back.ratio(kind) == report.ratio(kind)
+        assert back.consumer_histogram() == report.consumer_histogram()
+        assert back.mean_consumers() == report.mean_consumers()
+
+
+class TestEnvelope:
+    def test_raw_passthrough(self):
+        assert decode_result(encode_result({"a": 1})) == {"a": 1}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            decode_result({"kind": "nope", "data": None})

@@ -1,0 +1,81 @@
+"""Persistent store: hit/miss, fingerprint invalidation, management."""
+
+import pytest
+
+from repro.harness import (
+    CellSpec,
+    ResultStore,
+    code_fingerprint,
+    default_store,
+    simulate_cell,
+)
+
+SPEC = CellSpec("505.mcf_r", 64, "atr", 1000)
+
+
+@pytest.fixture(scope="module")
+def cell():
+    return simulate_cell(SPEC)
+
+
+def test_miss_then_hit(tmp_path, cell):
+    store = ResultStore(root=tmp_path)
+    assert store.get(SPEC) is None
+    store.put(SPEC, cell)
+    cached = store.get(SPEC)
+    assert cached is not None
+    assert cached.ipc == cell.ipc
+    assert cached.stats == cell.stats
+    assert (store.hits, store.misses) == (1, 1)
+
+
+def test_fingerprint_change_invalidates(tmp_path, cell):
+    old = ResultStore(root=tmp_path, fingerprint="a" * 64)
+    old.put(SPEC, cell)
+    assert old.get(SPEC) is not None
+
+    # Same root, new code version: must be a miss, old entry untouched.
+    new = ResultStore(root=tmp_path, fingerprint="b" * 64)
+    assert new.get(SPEC) is None
+    new.put(SPEC, cell)
+    info = new.info()
+    assert len(info["generations"]) == 2
+    assert info["entries"] == 2
+    assert sum(g["current"] for g in info["generations"]) == 1
+
+
+def test_corrupt_entry_reads_as_miss_and_is_removed(tmp_path, cell):
+    store = ResultStore(root=tmp_path)
+    path = store.put(SPEC, cell)
+    path.write_text("{not json")
+    assert store.get(SPEC) is None
+    assert not path.exists()
+    # Recomputed and re-stored: hits again.
+    store.put(SPEC, cell)
+    assert store.get(SPEC) is not None
+
+
+def test_clear_removes_all_generations(tmp_path, cell):
+    ResultStore(root=tmp_path, fingerprint="a" * 64).put(SPEC, cell)
+    ResultStore(root=tmp_path, fingerprint="b" * 64).put(SPEC, cell)
+    store = ResultStore(root=tmp_path)
+    assert store.clear() == 2
+    assert store.info()["entries"] == 0
+    assert store.clear() == 0  # idempotent, even with no directory content
+
+
+def test_default_store_honors_cache_dir_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    store = default_store()
+    assert store is not None
+    assert store.root == tmp_path / "elsewhere"
+
+
+def test_default_store_disabled_by_no_cache_env(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert default_store() is None
+
+
+def test_code_fingerprint_stable_in_process():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 64

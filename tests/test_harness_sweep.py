@@ -1,0 +1,155 @@
+"""Sweep layer + CLI: dedup, store integration, parallel determinism."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import fig06, fig10
+from repro.experiments.runner import clear_result_cache
+from repro.harness import (
+    CellFailure,
+    CellSpec,
+    ResultStore,
+    SweepError,
+    sweep,
+)
+
+INT2 = ["505.mcf_r", "531.deepsjeng_r"]
+FP2 = ["503.bwaves_r", "508.namd_r"]
+
+
+class TestSweep:
+    def test_deduplicates_specs(self):
+        calls = []
+
+        def executor(spec):
+            calls.append(spec)
+            return spec.benchmark
+
+        spec = CellSpec("a", 64, "atr", 100)
+        report = sweep([spec, spec, spec], jobs=1, store=None, executor=executor)
+        assert len(calls) == 1
+        assert report.results[spec] == "a"
+        assert report.progress.total == 1
+
+    def test_warm_cells_skip_execution(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        specs = [CellSpec(name, 64, "atr", 100) for name in ("a", "b")]
+        executed = []
+
+        def executor(spec):
+            executed.append(spec.benchmark)
+            return {"benchmark": spec.benchmark}
+
+        first = sweep(specs, jobs=1, store=store, executor=executor)
+        assert sorted(executed) == ["a", "b"] and first.hits == 0
+
+        executed.clear()
+        second = sweep(specs, jobs=1, store=store, executor=executor)
+        assert executed == []
+        assert second.hits == 2
+        assert second.results[specs[0]] == {"benchmark": "a"}
+
+    def test_require_complete_raises_sweep_error(self):
+        def executor(spec):
+            raise RuntimeError("boom")
+
+        report = sweep([CellSpec("a", 64, "atr", 100)], jobs=1, store=None,
+                       retries=0, executor=executor)
+        with pytest.raises(SweepError, match="boom"):
+            report.require_complete()
+
+
+class TestDeterminism:
+    def test_parallel_and_serial_figures_agree_exactly(self, tmp_path, monkeypatch):
+        """The acceptance property: worker processes change wall time,
+        never figure numbers — compared against fresh, separate stores."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+        clear_result_cache()
+        parallel = fig10.run(int_benchmarks=INT2, fp_benchmarks=FP2,
+                             sizes=(64,), instructions=800, jobs=2)
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        clear_result_cache()
+        serial = fig10.run(int_benchmarks=INT2, fp_benchmarks=FP2,
+                           sizes=(64,), instructions=800, jobs=1)
+
+        assert parallel.speedups == serial.speedups  # bit-exact, not approx
+        assert parallel.render() == serial.render()
+        clear_result_cache()
+
+    def test_region_figures_agree_exactly(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+        clear_result_cache()
+        parallel = fig06.run(int_benchmarks=INT2, fp_benchmarks=FP2,
+                             instructions=800, jobs=2)
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        clear_result_cache()
+        serial = fig06.run(int_benchmarks=INT2, fp_benchmarks=FP2,
+                           instructions=800, jobs=1)
+
+        assert parallel.ratios == serial.ratios
+        clear_result_cache()
+
+
+class TestCli:
+    def test_figure_with_jobs(self, capsys):
+        assert main(["figure", "fig06", "--quick", "-n", "800",
+                     "--jobs", "2"]) == 0
+        assert "atomic" in capsys.readouterr().out
+
+    def test_figure_all_reports_failures(self, capsys, monkeypatch):
+        import repro.experiments as experiments
+
+        class _Ok:
+            @staticmethod
+            def run(jobs=None, instructions=None):
+                class Result:
+                    def render(self):
+                        return "ok-figure"
+                return Result()
+
+        class _Failing:
+            @staticmethod
+            def run(jobs=None, instructions=None):
+                raise SweepError([CellFailure(
+                    CellSpec("x", 64, "atr", 100), "injected", 2)])
+
+        monkeypatch.setattr(experiments, "ALL_FIGURES",
+                            {"figok": _Ok, "figbad": _Failing})
+        assert main(["figure", "all"]) == 1
+        captured = capsys.readouterr()
+        assert "ok-figure" in captured.out
+        assert "FAILED figures: figbad" in captured.err
+
+    def test_figure_all_success_exit_zero(self, capsys, monkeypatch):
+        import repro.experiments as experiments
+
+        class _Ok:
+            @staticmethod
+            def run(jobs=None, instructions=None):
+                class Result:
+                    def render(self):
+                        return "ok-figure"
+                return Result()
+
+        monkeypatch.setattr(experiments, "ALL_FIGURES", {"figok": _Ok})
+        assert main(["figure", "all"]) == 0
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "-b", "mcf", "-r", "64", "-s", "baseline,atr",
+                     "-n", "800", "-j", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "505.mcf_r" in out and "baseline" in out
+
+    def test_cache_info_and_clear(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["sweep", "-b", "mcf", "-r", "64", "-s", "baseline",
+                     "-n", "800", "-j", "1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        assert "entries:          1" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "info"]) == 0
+        assert "entries:          0" in capsys.readouterr().out
