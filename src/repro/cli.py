@@ -10,6 +10,9 @@ Commands:
   processes and the persistent result store makes re-runs warm.
 * ``sweep`` — run an explicit benchmark x rf-size x scheme grid through
   the parallel harness and print the IPC table.
+* ``validate`` — seeded fault-injection campaign: every cell runs with
+  the online invariant sanitizer attached and is differentially verified
+  against the golden emulator; exits non-zero on any violation.
 * ``cache`` — inspect (``info``) or empty (``clear``) the persistent
   result store (``~/.cache/repro`` or ``$REPRO_CACHE_DIR``).
 * ``analyze`` — trace-level atomic-region analysis of a benchmark.
@@ -82,6 +85,32 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("-j", "--jobs", type=_positive_int, default=None,
                      help="worker processes (default: all cores)")
     swp.add_argument("-v", "--verbose", action="store_true",
+                     help="per-cell progress lines on stderr")
+
+    val = sub.add_parser(
+        "validate",
+        help="seeded fault-injection campaign with the invariant sanitizer")
+    val.add_argument("-b", "--benchmarks", default="mcf,deepsjeng,bwaves,namd",
+                     help="comma-separated suite names")
+    val.add_argument("-s", "--schemes",
+                     default="baseline,nonspec_er,atr,combined",
+                     help="comma-separated release schemes")
+    val.add_argument("-r", "--rf-sizes", default="28,40",
+                     help="comma-separated register file sizes")
+    val.add_argument("--seeds", type=_positive_int, default=4,
+                     help="chaos seeds per cell (default 4)")
+    val.add_argument("-n", "--instructions", type=int, default=3000,
+                     help="dynamic trace length per cell (default 3000)")
+    val.add_argument("-i", "--intensity", default="medium",
+                     choices=["low", "medium", "high"],
+                     help="fault-injection intensity (default medium)")
+    val.add_argument("-d", "--redefine-delay", type=int, default=0)
+    val.add_argument("--quick", action="store_true",
+                     help="small smoke campaign: 2 benchmarks, 1 rf size, "
+                          "2 seeds, 1500 instructions")
+    val.add_argument("-j", "--jobs", type=_positive_int, default=None,
+                     help="worker processes (default: all cores)")
+    val.add_argument("-v", "--verbose", action="store_true",
                      help="per-cell progress lines on stderr")
 
     cache = sub.add_parser("cache", help="manage the persistent result store")
@@ -258,6 +287,45 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    from .validate import campaign_specs, run_campaign
+    from .workloads import resolve
+
+    if args.quick:
+        benchmarks = ["505.mcf_r", "503.bwaves_r"]
+        rf_sizes = [28]
+        seeds = range(2)
+        instructions = 1500
+    else:
+        benchmarks = [resolve(b.strip())
+                      for b in args.benchmarks.split(",") if b.strip()]
+        rf_sizes = [int(r) for r in args.rf_sizes.split(",") if r.strip()]
+        seeds = range(args.seeds)
+        instructions = args.instructions
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+
+    specs = campaign_specs(
+        benchmarks=benchmarks,
+        schemes=schemes,
+        rf_sizes=rf_sizes,
+        seeds=list(seeds),
+        instructions=instructions,
+        intensity=args.intensity,
+        redefine_delay=args.redefine_delay,
+    )
+    print(f"validate: {len(specs)} chaos cells "
+          f"({args.intensity} intensity, {instructions} instructions/cell)")
+    progress = _sweep_progress(args.verbose)
+    report = run_campaign(
+        specs,
+        jobs=args.jobs if args.jobs is not None else _default_jobs(),
+        progress=progress,
+    )
+    print(report.render())
+    progress.emit_summary()
+    return 0 if report.ok else 1
+
+
 def _cmd_cache(args) -> int:
     from .harness import ResultStore
 
@@ -321,6 +389,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "figure": _cmd_figure,
     "sweep": _cmd_sweep,
+    "validate": _cmd_validate,
     "cache": _cmd_cache,
     "analyze": _cmd_analyze,
     "list": _cmd_list,

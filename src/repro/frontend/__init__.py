@@ -1,6 +1,14 @@
 """Functional frontend: golden-model emulator, trace capture, wrong path."""
 
-from .emulator import ArchState, EmulationError, Emulator, final_state, run_program
+from .emulator import (
+    ArchState,
+    EmulationError,
+    Emulator,
+    canonical_memory,
+    canonical_state,
+    final_state,
+    run_program,
+)
 from .trace import (
     DynamicInstruction,
     Trace,
@@ -15,6 +23,7 @@ from .wrongpath import WrongPathSupplier
 
 __all__ = [
     "Emulator", "ArchState", "EmulationError", "run_program", "final_state",
+    "canonical_memory", "canonical_state",
     "DynamicInstruction", "Trace", "read_trace", "write_trace",
     "read_trace_jsonl", "write_trace_jsonl", "trace_to_bytes", "trace_from_bytes",
     "WrongPathSupplier",

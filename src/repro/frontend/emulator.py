@@ -14,7 +14,7 @@ cycle simulator's value-execution mode, so the two models cannot drift.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..isa import (
     NUM_INT_REGS,
@@ -32,6 +32,18 @@ from .trace import DynamicInstruction, Trace
 WORD_BYTES = 8
 
 
+def canonical_memory(memory: Dict[int, int]) -> Dict[int, int]:
+    """Drop zero-valued words from a memory image.
+
+    Loads from unwritten addresses return zero, so an explicit zero store
+    and an untouched address are architecturally indistinguishable; every
+    golden-model comparison must canonicalize *both* sides with this one
+    helper, or a model that materializes zeros (the emulator) diverges
+    spuriously from one that filters them (the cycle core).
+    """
+    return {addr: value for addr, value in memory.items() if value != 0}
+
+
 @dataclass
 class ArchState:
     """Architectural state snapshot: registers, flags, memory."""
@@ -47,6 +59,45 @@ class ArchState:
         if reg.cls is RegClass.INT:
             return self.int_regs[reg.index]
         return self.vec_regs[reg.index]
+
+    def canonicalize(self) -> "ArchState":
+        """A copy whose memory has zero-valued words dropped."""
+        return ArchState(
+            int_regs=self.int_regs,
+            vec_regs=self.vec_regs,
+            flags=self.flags,
+            memory=canonical_memory(self.memory),
+        )
+
+    def diff(self, other: "ArchState", limit: int = 8) -> List[str]:
+        """Mismatches against *other*, as human-readable lines.
+
+        Both sides are canonicalized first, so callers may pass raw
+        states.  Returns at most *limit* lines (empty = equivalent).
+        """
+        mine, theirs = self.canonicalize(), other.canonicalize()
+        out: List[str] = []
+        for i, (a, b) in enumerate(zip(mine.int_regs, theirs.int_regs)):
+            if a != b:
+                out.append(f"r{i}: {a:#x} != {b:#x}")
+        if mine.flags != theirs.flags:
+            out.append(f"flags: {mine.flags:#x} != {theirs.flags:#x}")
+        for i, (a, b) in enumerate(zip(mine.vec_regs, theirs.vec_regs)):
+            if a != b:
+                out.append(f"v{i}: {a} != {b}")
+        for addr in sorted(set(mine.memory) | set(theirs.memory)):
+            a = mine.memory.get(addr, 0)
+            b = theirs.memory.get(addr, 0)
+            if a != b:
+                out.append(f"mem[{addr:#x}]: {a:#x} != {b:#x}")
+        if len(out) > limit:
+            out = out[:limit] + [f"... and {len(out) - limit} more mismatches"]
+        return out
+
+
+def canonical_state(state: ArchState) -> ArchState:
+    """Canonical form of *state* for golden-model comparison."""
+    return state.canonicalize()
 
 
 class EmulationError(RuntimeError):

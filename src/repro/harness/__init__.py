@@ -20,7 +20,13 @@ execution a first-class subsystem:
   lookup, schedule, persist.
 """
 
-from .jobs import CellResult, analyze_regions, execute_spec, simulate_cell
+from .jobs import (
+    CellResult,
+    analyze_regions,
+    execute_spec,
+    execute_spec_diagnose,
+    simulate_cell,
+)
 from .progress import SweepProgress
 from .scheduler import CellFailure, default_timeout, resolve_jobs, run_specs
 from .serialize import (
@@ -29,7 +35,15 @@ from .serialize import (
     encode_cell_result,
     encode_result,
 )
-from .spec import CellSpec, RegionSpec, Spec, spec_digest, spec_from_dict, spec_to_dict
+from .spec import (
+    CellSpec,
+    RegionSpec,
+    Spec,
+    register_spec_type,
+    spec_digest,
+    spec_from_dict,
+    spec_to_dict,
+)
 from .store import ResultStore, cache_root, code_fingerprint, default_store
 from .sweep import (
     SweepError,
@@ -41,8 +55,9 @@ from .sweep import (
 
 __all__ = [
     "CellSpec", "RegionSpec", "Spec", "spec_digest", "spec_to_dict",
-    "spec_from_dict",
-    "CellResult", "execute_spec", "simulate_cell", "analyze_regions",
+    "spec_from_dict", "register_spec_type",
+    "CellResult", "execute_spec", "execute_spec_diagnose", "simulate_cell",
+    "analyze_regions",
     "encode_result", "decode_result", "encode_cell_result", "decode_cell_result",
     "ResultStore", "default_store", "cache_root", "code_fingerprint",
     "CellFailure", "run_specs", "resolve_jobs", "default_timeout",

@@ -31,6 +31,9 @@ class CellResult:
     scheme_stats: SchemeStats
     event_records: Optional[list] = None
     region_report: Optional[RegionReport] = None
+    #: Structured validation failure (invariant violation, golden-model
+    #: divergence, …) rendered as text — ``None`` for a clean run.
+    error: Optional[str] = None
 
     @property
     def ipc(self) -> float:
@@ -41,7 +44,8 @@ class CellResult:
         return is_fp(self.benchmark)
 
 
-def simulate_cell(spec: CellSpec, config: Optional[CoreConfig] = None) -> CellResult:
+def simulate_cell(spec: CellSpec, config: Optional[CoreConfig] = None,
+                  check_invariants: bool = False) -> CellResult:
     """Run one timing simulation (uncached; see the sweep layer for caching)."""
     if config is None:
         config = golden_cove_config(
@@ -53,6 +57,8 @@ def simulate_cell(spec: CellSpec, config: Optional[CoreConfig] = None) -> CellRe
         # Value execution is a correctness harness, not a performance
         # model; experiments disable it for speed (tests keep it on).
         config = replace(config, execute_values=False)
+    if check_invariants:
+        config = replace(config, check_invariants=True)
     trace = build_trace(spec.benchmark, spec.instructions)
     core = Core(config, trace)
     stats = core.run()
@@ -79,3 +85,18 @@ def execute_spec(spec: Spec):
     if isinstance(spec, RegionSpec):
         return analyze_regions(spec)
     raise TypeError(f"unknown spec type {type(spec).__name__}")
+
+
+def execute_spec_diagnose(spec: Spec):
+    """Like :func:`execute_spec`, but with the invariant sanitizer on.
+
+    The scheduler re-runs a failed cell through this executor so a crash
+    that reproduces surfaces as a structured
+    :class:`~repro.validate.InvariantViolation` with a pipeline snapshot
+    instead of a bare traceback.  Invariant checking is observation-only,
+    so a cell that *succeeds* under diagnosis returns statistics
+    identical to a plain run.
+    """
+    if isinstance(spec, CellSpec):
+        return simulate_cell(spec, check_invariants=True)
+    return execute_spec(spec)

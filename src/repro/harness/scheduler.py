@@ -21,13 +21,15 @@ from dataclasses import dataclass
 from multiprocessing import connection
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .jobs import execute_spec
+from .jobs import execute_spec, execute_spec_diagnose
 from .progress import SweepProgress
 from .serialize import decode_result, encode_result
 from .spec import Spec
 
 TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
 DEFAULT_RETRIES = 1
+#: Base delay before the first retry; doubles per subsequent attempt.
+DEFAULT_BACKOFF = 0.25
 #: Seconds between scheduler polls of the worker pipes.
 _POLL_INTERVAL = 0.05
 
@@ -71,13 +73,32 @@ def _worker(executor: Callable, spec: Spec, conn) -> None:
     try:
         payload = encode_result(executor(spec))
         conn.send(("ok", payload))
-    except BaseException as exc:  # isolate *any* cell failure
+    except Exception as exc:  # isolate cell failures, but only real ones:
+        # KeyboardInterrupt/SystemExit must propagate so Ctrl-C kills the
+        # worker instead of being swallowed as a retryable cell error.
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
         except Exception:
             pass
     finally:
         conn.close()
+
+
+def _retry_delay(backoff: float, attempt: int) -> float:
+    """Exponential backoff before re-running a failed *attempt*."""
+    if backoff <= 0:
+        return 0.0
+    return backoff * (2 ** (attempt - 1))
+
+
+def _pick_executor(executor: Callable, diagnostic_executor: Optional[Callable],
+                   attempt: int) -> Callable:
+    """Retries (attempt > 1) run under the diagnostic executor, so a
+    reproducing crash comes back as a structured violation with a
+    pipeline snapshot instead of a bare exception string."""
+    if attempt > 1 and diagnostic_executor is not None:
+        return diagnostic_executor
+    return executor
 
 
 def run_specs(
@@ -87,32 +108,47 @@ def run_specs(
     retries: int = DEFAULT_RETRIES,
     executor: Optional[Callable] = None,
     progress: Optional[SweepProgress] = None,
+    backoff: float = DEFAULT_BACKOFF,
+    diagnostic_executor: Optional[Callable] = None,
 ) -> Tuple[List[Tuple[Spec, object]], List[CellFailure]]:
     """Execute every spec; returns (completed ``(spec, result)``, failures).
 
     Order of the completed list follows completion time in parallel mode;
-    callers index results by spec, never by position.
+    callers index results by spec, never by position.  Retries wait
+    ``backoff * 2**(attempt-1)`` seconds and run under
+    *diagnostic_executor* (default: the standard executor with the
+    invariant sanitizer enabled) so transient failures get spacing and
+    deterministic crashes get a diagnosis.
     """
-    executor = executor or execute_spec
+    if executor is None:
+        executor = execute_spec
+        if diagnostic_executor is None:
+            diagnostic_executor = execute_spec_diagnose
     progress = progress or SweepProgress()
     timeout = default_timeout() if timeout is None else timeout
     jobs = resolve_jobs(jobs)
     context = _fork_context()
     if jobs <= 1 or context is None:
-        return _run_serial(specs, retries, executor, progress)
-    return _run_parallel(specs, jobs, timeout, retries, executor, progress, context)
+        return _run_serial(specs, retries, executor, progress, backoff,
+                           diagnostic_executor)
+    return _run_parallel(specs, jobs, timeout, retries, executor, progress,
+                         context, backoff, diagnostic_executor)
 
 
-def _run_serial(specs, retries, executor, progress):
+def _run_serial(specs, retries, executor, progress, backoff=DEFAULT_BACKOFF,
+                diagnostic_executor=None):
     results: List[Tuple[Spec, object]] = []
     failures: List[CellFailure] = []
     for spec in specs:
         for attempt in range(1, retries + 2):
+            if attempt > 1:
+                time.sleep(_retry_delay(backoff, attempt - 1))
+            run = _pick_executor(executor, diagnostic_executor, attempt)
             started = time.monotonic()
             try:
                 # Round-trip through the wire encoding so serial results are
                 # indistinguishable from parallel (and store-decoded) ones.
-                result = decode_result(encode_result(executor(spec)))
+                result = decode_result(encode_result(run(spec)))
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
                 if attempt <= retries:
@@ -127,17 +163,20 @@ def _run_serial(specs, retries, executor, progress):
     return results, failures
 
 
-def _run_parallel(specs, jobs, timeout, retries, executor, progress, context):
+def _run_parallel(specs, jobs, timeout, retries, executor, progress, context,
+                  backoff=DEFAULT_BACKOFF, diagnostic_executor=None):
     results: List[Tuple[Spec, object]] = []
     failures: List[CellFailure] = []
-    pending = deque((spec, 1) for spec in specs)
+    #: (spec, attempt, not-before monotonic time)
+    pending = deque((spec, 1, 0.0) for spec in specs)
     #: receive-pipe -> (spec, attempt, process, started)
     running: Dict[object, tuple] = {}
 
     def settle(spec, attempt, error):
         if attempt <= retries:
             progress.retry(spec, error)
-            pending.append((spec, attempt + 1))
+            pending.append((spec, attempt + 1,
+                            time.monotonic() + _retry_delay(backoff, attempt)))
         else:
             progress.fail(spec, error)
             failures.append(CellFailure(spec, error, attempt))
@@ -145,10 +184,17 @@ def _run_parallel(specs, jobs, timeout, retries, executor, progress, context):
     try:
         while pending or running:
             while pending and len(running) < jobs:
-                spec, attempt = pending.popleft()
+                spec, attempt, ready_at = pending[0]
+                # Retries land at the back of the deque, so a not-ready
+                # head means only backoff waits remain; the poll below
+                # keeps the loop ticking until it matures.
+                if time.monotonic() < ready_at:
+                    break
+                pending.popleft()
+                run = _pick_executor(executor, diagnostic_executor, attempt)
                 receiver, sender = context.Pipe(duplex=False)
                 process = context.Process(
-                    target=_worker, args=(executor, spec, sender), daemon=True)
+                    target=_worker, args=(run, spec, sender), daemon=True)
                 process.start()
                 sender.close()  # child's end; keep only the read side here
                 running[receiver] = (spec, attempt, process, time.monotonic())

@@ -34,6 +34,7 @@ def encode_cell_result(result: CellResult) -> Dict:
             None if result.region_report is None
             else result.region_report.to_dict()
         ),
+        "error": result.error,
     }
 
 
@@ -53,6 +54,8 @@ def decode_cell_result(data: Dict) -> CellResult:
             None if data["region_report"] is None
             else RegionReport.from_dict(data["region_report"])
         ),
+        # .get(): results persisted before the error field existed.
+        error=data.get("error"),
     )
 
 

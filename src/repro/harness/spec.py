@@ -57,6 +57,25 @@ Spec = Union[CellSpec, RegionSpec]
 _SPEC_TYPES = {CellSpec.kind: CellSpec, RegionSpec.kind: RegionSpec}
 
 
+def register_spec_type(cls):
+    """Register an external frozen-dataclass spec type by its ``kind``.
+
+    Lets packages layered above the harness (e.g. ``repro.validate``)
+    round-trip their specs through :func:`spec_from_dict` /
+    :func:`spec_digest` without the harness importing them.  Returns the
+    class, so it is usable as a decorator.
+    """
+    kind = getattr(cls, "kind", None)
+    if not isinstance(kind, str) or not kind:
+        raise TypeError(f"{cls.__name__} must define a non-empty string 'kind'")
+    existing = _SPEC_TYPES.get(kind)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"spec kind {kind!r} already registered "
+                         f"to {existing.__name__}")
+    _SPEC_TYPES[kind] = cls
+    return cls
+
+
 def spec_to_dict(spec: Spec) -> Dict:
     data = asdict(spec)
     data["kind"] = spec.kind

@@ -102,9 +102,13 @@ class ResultStore:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
             os.replace(tmp, path)
-        except BaseException:
-            os.unlink(tmp)
-            raise
+        finally:
+            # After a successful replace the temp name is gone; anything
+            # still there means we are unwinding (including Ctrl-C) and
+            # must not leave the orphan behind.  Nothing is caught, so
+            # KeyboardInterrupt/SystemExit propagate untouched.
+            if os.path.exists(tmp):
+                os.unlink(tmp)
         return path
 
     # -- management --------------------------------------------------------------

@@ -81,6 +81,11 @@ class CoreConfig:
     record_register_events: bool = False
     record_timeline: bool = False
     conservation_check: bool = True
+    # Online invariant sanitizer (repro.validate): per-event use-after-
+    # release / conservation / ordering checks.  Off by default — when
+    # off the core holds no checker and pays a single `is None` test per
+    # hook site.
+    check_invariants: bool = False
 
     @property
     def freelist_reserve(self) -> int:

@@ -37,7 +37,13 @@ from ..branch import (
     Prediction,
     Tage,
 )
-from ..frontend import ArchState, DynamicInstruction, Trace, WrongPathSupplier
+from ..frontend import (
+    ArchState,
+    DynamicInstruction,
+    Trace,
+    WrongPathSupplier,
+    canonical_memory,
+)
 from ..isa import I_BYTES, FLAGS, OpClass, Opcode, RegClass, ireg, vreg
 from ..isa.semantics import compute
 from ..memory import MemoryHierarchy
@@ -100,7 +106,34 @@ class _StoreRecord:
 
 
 class DeadlockError(RuntimeError):
-    """The simulation made no forward progress for too many cycles."""
+    """The simulation made no forward progress for too many cycles.
+
+    Always carries the cycle, the retired-instruction count, and the
+    ROB-head seq/opcode (when occupied); ``snapshot`` additionally holds
+    the full :func:`~repro.validate.snapshot.pipeline_snapshot` and is
+    rendered by ``__str__`` so harness failure reports show where the
+    machine was stuck.
+    """
+
+    def __init__(self, message: str, cycle: int = -1, committed: int = -1,
+                 total: int = -1, head_seq: Optional[int] = None,
+                 head_opcode: Optional[str] = None,
+                 snapshot: Optional[Dict] = None):
+        super().__init__(message)
+        self.message = message
+        self.cycle = cycle
+        self.committed = committed
+        self.total = total
+        self.head_seq = head_seq
+        self.head_opcode = head_opcode
+        self.snapshot = snapshot
+
+    def __str__(self) -> str:
+        text = self.message
+        if self.snapshot is not None:
+            from ..validate.snapshot import format_snapshot
+            text += "\n" + format_snapshot(self.snapshot)
+        return text
 
 
 class Core:
@@ -197,6 +230,16 @@ class Core:
         self._interrupt_fetch_stall = False
         self._last_committed_trace_seq = -1
 
+        # Online invariant sanitizer (repro.validate).  Imported lazily at
+        # construction time only: validate layers on top of the harness,
+        # which imports this module, so a top-level import would cycle.
+        # With the switch off, the core holds no checker and every hook
+        # site below is a single `is not None` test.
+        self._checker = None
+        if config.check_invariants:
+            from ..validate.sanitizer import InvariantChecker
+            self._checker = InvariantChecker(self)
+
     # ------------------------------------------------------------------ run --
     def run(self, max_cycles: Optional[int] = None) -> SimStats:
         """Simulate until the trace is fully committed; returns the stats."""
@@ -211,19 +254,35 @@ class Core:
                 last_committed = self.stats.committed
                 last_commit_cycle = self.cycle
             elif self.cycle - last_commit_cycle > 200_000:
-                raise DeadlockError(
-                    f"no commit for 200k cycles at cycle {self.cycle} "
-                    f"({self.stats.committed}/{len(self.trace)} committed)"
-                )
+                raise self._deadlock("no commit for 200k cycles")
             if self.cycle >= max_cycles:
-                raise DeadlockError(
-                    f"exceeded max_cycles={max_cycles} "
-                    f"({self.stats.committed}/{len(self.trace)} committed)"
-                )
+                raise self._deadlock(f"exceeded max_cycles={max_cycles}")
         self.stats.cycles = self.cycle
         if self.config.conservation_check:
             self.check_conservation()
         return self.stats
+
+    def _deadlock(self, reason: str) -> DeadlockError:
+        """Build a fully diagnosed :class:`DeadlockError` for *reason*."""
+        from ..validate.snapshot import pipeline_snapshot
+        head = self.rob.head()
+        if head is not None:
+            head_desc = (f"ROB head #{head.seq} {head.instr.opcode.name}"
+                         f" [{'issued' if head.issued else 'not issued'}, "
+                         f"{'completed' if head.completed else 'not completed'}, "
+                         f"{'precommitted' if head.precommitted else 'not precommitted'}]")
+        else:
+            head_desc = "ROB empty"
+        return DeadlockError(
+            f"{reason} at cycle {self.cycle} "
+            f"({self.stats.committed}/{len(self.trace)} committed, {head_desc})",
+            cycle=self.cycle,
+            committed=self.stats.committed,
+            total=len(self.trace),
+            head_seq=head.seq if head is not None else None,
+            head_opcode=head.instr.opcode.name if head is not None else None,
+            snapshot=pipeline_snapshot(self),
+        )
 
     def step(self) -> None:
         """Advance one cycle."""
@@ -237,6 +296,8 @@ class Core:
         self._issue(cycle)
         self._rename(cycle)
         self._fetch(cycle)
+        if self._checker is not None:
+            self._checker.end_cycle(cycle)
         if (
             self._cursor >= len(self.trace.entries)
             and self._fq_head >= len(self._fetch_queue)
@@ -256,6 +317,8 @@ class Core:
                 continue
             entry.completed = True
             entry.cycle_complete = cycle
+            if self._checker is not None:
+                self._checker.on_writeback(entry)
             self._writeback(entry)
             for record in entry.dests:
                 self._set_ready(record.file, record.new_ptag)
@@ -308,6 +371,8 @@ class Core:
                 break
             entry.precommitted = True
             entry.cycle_precommit = cycle
+            if self._checker is not None:
+                self._checker.on_precommit(entry)
             self.scheme.on_precommit(entry, cycle)
             if self._interrupt_controller is not None:
                 self._interrupt_controller.on_precommit(entry)
@@ -330,6 +395,8 @@ class Core:
                 self._commit_store(entry, cycle)
             if instr.is_load:
                 self._lq_used -= 1
+            if self._checker is not None:
+                self._checker.on_commit(entry)
             self.scheme.on_commit(entry, cycle)
             if entry.dyn.trace_seq >= 0:
                 self._last_committed_trace_seq = entry.dyn.trace_seq
@@ -406,6 +473,10 @@ class Core:
         entry.issued = True
         entry.cycle_issue = cycle
         self._rs_used -= 1
+        # Sanitizer first: its use-after-release / underflow checks must
+        # observe the consumer counts before the scheme decrements them.
+        if self._checker is not None:
+            self._checker.on_issue(entry)
         self.scheme.on_issue(entry, cycle)
         if self.event_log is not None and not entry.wrong_path:
             for file_cls, _slot, ptag in entry.src_ptags:
@@ -550,6 +621,10 @@ class Core:
         )
         entry.cycle_rename = cycle
         entry.src_ptags = self.rename_unit.lookup_sources(dyn.instr)
+        # Sanitizer sees the sources before destination allocation (which
+        # could legitimately recycle a ptag an unsafe scheme just freed).
+        if self._checker is not None:
+            self._checker.on_rename_sources(entry)
         self.scheme.pre_rename(entry, cycle)
         entry.dests = self.rename_unit.allocate_dests(dyn.instr, cycle, dyn.seq)
         if self.event_log is not None:
@@ -595,6 +670,8 @@ class Core:
             entry.has_checkpoint = self.checkpoints.take(
                 entry.seq, self.rename_unit.srt_snapshots()
             )
+        if self._checker is not None:
+            self._checker.on_rename(entry)
 
     # --------------------------------------------------------------------- fetch --
     def _fetch(self, cycle: int) -> None:
@@ -721,6 +798,8 @@ class Core:
         if self.event_log is not None:
             for entry in flushed:
                 self.event_log.on_redefiner_flush(entry)
+        if self._checker is not None:
+            self._checker.on_flush(flushed, "branch")
         # Scheme reclamation (ATR's two-bit walk lives here).
         self.scheme.on_flush(flushed, cycle)
 
@@ -792,6 +871,8 @@ class Core:
             if self.event_log is not None:
                 for entry in flushed:
                     self.event_log.on_redefiner_flush(entry)
+            if self._checker is not None:
+                self._checker.on_flush(flushed, "interrupt")
             self.scheme.on_flush(flushed, cycle)
             self._release_flushed_resources(flushed)
             flushed_count = len(flushed)
@@ -847,7 +928,9 @@ class Core:
             int_regs=tuple(int_values[int_rat.read(ireg(i).srt_slot)] for i in range(16)),
             vec_regs=tuple(vec_values[vec_rat.read(vreg(i).srt_slot)] for i in range(16)),
             flags=int_values[int_rat.read(FLAGS.srt_slot)],
-            memory={k: v for k, v in self._mem_values.items() if v != 0},
+            # Canonical form (zero words dropped) — the same helper the
+            # golden-model comparisons apply to the emulator's state.
+            memory=canonical_memory(self._mem_values),
         )
 
     def check_conservation(self) -> None:

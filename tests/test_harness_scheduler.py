@@ -7,7 +7,10 @@ marker files let an executor behave differently on its second attempt.
 import os
 import time
 
+import pytest
+
 from repro.harness import CellSpec, run_specs
+from repro.harness.scheduler import _pick_executor, _retry_delay, _worker
 
 SPECS = [CellSpec(name, 64, "atr", 100) for name in ("a", "b", "c")]
 
@@ -91,6 +94,109 @@ class TestFailureIsolation:
                                       executor=executor)
         assert not failures
         assert results[0][1] == "recovered"
+
+
+class TestInterruptPropagation:
+    def test_keyboard_interrupt_escapes_serial_mode(self):
+        def executor(spec):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_specs(SPECS[:1], jobs=1, retries=1, executor=executor)
+
+    def test_worker_does_not_swallow_keyboard_interrupt(self):
+        """The worker body isolates cell *errors*; Ctrl-C must escape it
+        instead of being reported as a retryable failure."""
+        class DummyConn:
+            def __init__(self):
+                self.sent = []
+
+            def send(self, item):
+                self.sent.append(item)
+
+            def close(self):
+                pass
+
+        def executor(spec):
+            raise KeyboardInterrupt
+
+        conn = DummyConn()
+        with pytest.raises(KeyboardInterrupt):
+            _worker(executor, SPECS[0], conn)
+        assert conn.sent == []
+
+    def test_worker_still_isolates_ordinary_exceptions(self):
+        class DummyConn:
+            def __init__(self):
+                self.sent = []
+
+            def send(self, item):
+                self.sent.append(item)
+
+            def close(self):
+                pass
+
+        def executor(spec):
+            raise ValueError("cell bug")
+
+        conn = DummyConn()
+        _worker(executor, SPECS[0], conn)
+        assert conn.sent == [("error", "ValueError: cell bug")]
+
+
+class TestRetryBackoffAndDiagnosis:
+    def test_retry_delay_doubles_per_attempt(self):
+        assert _retry_delay(0.25, 1) == 0.25
+        assert _retry_delay(0.25, 2) == 0.5
+        assert _retry_delay(0.25, 3) == 1.0
+        assert _retry_delay(0.0, 5) == 0.0
+
+    def test_pick_executor_switches_on_retry(self):
+        def plain(spec):
+            return "plain"
+
+        def diagnose(spec):
+            return "diagnose"
+
+        assert _pick_executor(plain, diagnose, 1) is plain
+        assert _pick_executor(plain, diagnose, 2) is diagnose
+        assert _pick_executor(plain, None, 2) is plain
+
+    def test_serial_backoff_spaces_attempts(self):
+        def executor(spec):
+            raise RuntimeError("always")
+
+        started = time.monotonic()
+        _results, failures = run_specs(SPECS[:1], jobs=1, retries=1,
+                                       backoff=0.2, executor=executor)
+        assert time.monotonic() - started >= 0.2
+        assert failures[0].attempts == 2
+
+    def test_failed_cell_reruns_under_diagnostic_executor(self):
+        def executor(spec):
+            raise RuntimeError("always fails")
+
+        def diagnose(spec):
+            return "diagnosed"
+
+        results, failures = run_specs(
+            SPECS[:1], jobs=1, retries=1, backoff=0.0,
+            executor=executor, diagnostic_executor=diagnose)
+        assert not failures
+        assert results[0][1] == "diagnosed"
+
+    def test_parallel_diagnostic_retry(self, tmp_path):
+        def executor(spec):
+            raise RuntimeError("always fails")
+
+        def diagnose(spec):
+            return "diagnosed"
+
+        results, failures = run_specs(
+            SPECS[:1], jobs=2, retries=1, backoff=0.0,
+            executor=executor, diagnostic_executor=diagnose)
+        assert not failures
+        assert results[0][1] == "diagnosed"
 
 
 class TestTimeout:
