@@ -1,0 +1,127 @@
+"""Host-side performance benchmark of the cycle core (``repro bench``).
+
+Measures *simulator* throughput — simulated kilocycles per wall-clock
+second and instructions per second — on a fixed protocol, so hot-loop
+regressions show up as numbers rather than vibes:
+
+* 505.mcf_r and 503.bwaves_r (one int pointer-chaser, one fp/vector
+  kernel), baseline and atr schemes, rf=128, n=20000;
+* best-of-3 wall time per cell (per-process best, not mean, to shave
+  scheduler noise);
+* probes off — the zero-cost-when-off path is the one that matters.
+
+``--quick`` shrinks the protocol to a CI smoke (n=4000, single repeat)
+whose only job is to crash loudly if the hot path breaks.
+
+Results are printed and written to ``BENCH_core.json``; EXPERIMENTS.md
+records the accepted baseline numbers for the current machine class.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+#: The fixed measurement protocol.
+BENCH_BENCHMARKS = ("505.mcf_r", "503.bwaves_r")
+BENCH_SCHEMES = ("baseline", "atr")
+DEFAULT_INSTRUCTIONS = 20_000
+DEFAULT_RF_SIZE = 128
+DEFAULT_REPEATS = 3
+
+
+def bench_core(instructions: int = DEFAULT_INSTRUCTIONS,
+               rf_size: int = DEFAULT_RF_SIZE,
+               repeats: int = DEFAULT_REPEATS,
+               verbose: bool = False) -> Dict:
+    """Run the core-throughput protocol; returns the result dict."""
+    from .pipeline import Core, golden_cove_config
+    from .workloads import build_trace
+
+    cells: List[Dict] = []
+    for benchmark in BENCH_BENCHMARKS:
+        trace = build_trace(benchmark, instructions)
+        for scheme in BENCH_SCHEMES:
+            config = golden_cove_config(rf_size=rf_size, scheme=scheme)
+            best = None
+            cycles = committed = 0
+            for _ in range(repeats):
+                core = Core(config, trace)
+                start = time.perf_counter()
+                stats = core.run()
+                elapsed = time.perf_counter() - start
+                if best is None or elapsed < best:
+                    best = elapsed
+                cycles, committed = stats.cycles, stats.committed
+            cell = {
+                "benchmark": benchmark,
+                "scheme": scheme,
+                "instructions": committed,
+                "sim_cycles": cycles,
+                "best_seconds": round(best, 6),
+                "kcycles_per_sec": round(cycles / best / 1e3, 1),
+                "instr_per_sec": round(committed / best, 1),
+            }
+            cells.append(cell)
+            if verbose:
+                print(f"  {benchmark}/{scheme}: "
+                      f"{cell['kcycles_per_sec']:.1f} kcycles/s")
+    total_cycles = sum(c["sim_cycles"] for c in cells)
+    total_instr = sum(c["instructions"] for c in cells)
+    total_time = sum(c["best_seconds"] for c in cells)
+    return {
+        "protocol": {
+            "instructions": instructions,
+            "rf_size": rf_size,
+            "repeats": repeats,
+            "benchmarks": list(BENCH_BENCHMARKS),
+            "schemes": list(BENCH_SCHEMES),
+        },
+        "cells": cells,
+        "aggregate": {
+            "kcycles_per_sec": round(total_cycles / total_time / 1e3, 1),
+            "instr_per_sec": round(total_instr / total_time, 1),
+            "wall_seconds": round(total_time, 3),
+        },
+    }
+
+
+def format_bench(result: Dict) -> str:
+    proto = result["protocol"]
+    lines = [
+        f"core throughput (n={proto['instructions']}, rf={proto['rf_size']}, "
+        f"best of {proto['repeats']}):",
+        f"  {'cell':<24} {'kcycles/s':>10} {'instr/s':>12}",
+    ]
+    for cell in result["cells"]:
+        name = f"{cell['benchmark']}/{cell['scheme']}"
+        lines.append(f"  {name:<24} {cell['kcycles_per_sec']:>10.1f} "
+                     f"{cell['instr_per_sec']:>12.1f}")
+    agg = result["aggregate"]
+    lines.append(f"  {'aggregate':<24} {agg['kcycles_per_sec']:>10.1f} "
+                 f"{agg['instr_per_sec']:>12.1f}   "
+                 f"({agg['wall_seconds']:.2f}s wall)")
+    return "\n".join(lines)
+
+
+def run_bench_cli(quick: bool = False, output: Optional[str] = "BENCH_core.json",
+                  instructions: Optional[int] = None,
+                  rf_size: int = DEFAULT_RF_SIZE,
+                  repeats: Optional[int] = None,
+                  verbose: bool = False) -> int:
+    """CLI entry: run, print, persist."""
+    if quick:
+        n = instructions or 4_000
+        reps = repeats or 1
+    else:
+        n = instructions or DEFAULT_INSTRUCTIONS
+        reps = repeats or DEFAULT_REPEATS
+    result = bench_core(instructions=n, rf_size=rf_size, repeats=reps,
+                        verbose=verbose)
+    print(format_bench(result))
+    if output:
+        with open(output, "w") as fh:
+            json.dump(result, fh, indent=1, sort_keys=True)
+        print(f"wrote {output}")
+    return 0

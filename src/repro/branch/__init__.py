@@ -6,7 +6,19 @@ from .tage import LoopPredictor, Tage
 from .targets import BranchTargetBuffer, IndirectTargetPredictor, ReturnAddressStack
 from .unit import BranchStats, BranchUnit
 
+#: Direction-predictor registry: config name -> zero-arg factory.  Single
+#: source of truth shared by CoreConfig.validate() (fail-fast on unknown
+#: names) and the fetch stage's make_predictor().
+PREDICTORS = {
+    "tage": Tage,
+    "gshare": GShare,
+    "bimodal": Bimodal,
+    "always_taken": AlwaysTaken,
+    "always_not_taken": AlwaysNotTaken,
+}
+
 __all__ = [
+    "PREDICTORS",
     "DirectionPredictor", "TargetPredictor", "Prediction", "saturate",
     "AlwaysTaken", "AlwaysNotTaken", "Oracle", "Bimodal", "GShare",
     "Tage", "LoopPredictor",

@@ -113,6 +113,20 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("-v", "--verbose", action="store_true",
                      help="per-cell progress lines on stderr")
 
+    bench = sub.add_parser(
+        "bench", help="benchmark the simulator's own throughput")
+    bench.add_argument("target", choices=["core"],
+                       help="what to benchmark (core: the cycle pipeline)")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke: short traces, single repeat")
+    bench.add_argument("-n", "--instructions", type=int, default=None)
+    bench.add_argument("-r", "--rf-size", type=int, default=128)
+    bench.add_argument("--repeats", type=_positive_int, default=None,
+                       help="timed repeats per cell, best taken (default 3)")
+    bench.add_argument("-o", "--output", default="BENCH_core.json",
+                       help="result JSON path ('' to skip writing)")
+    bench.add_argument("-v", "--verbose", action="store_true")
+
     cache = sub.add_parser("cache", help="manage the persistent result store")
     cache.add_argument("action", choices=["info", "clear"])
 
@@ -384,6 +398,18 @@ def _cmd_disasm(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench import run_bench_cli
+    return run_bench_cli(
+        quick=args.quick,
+        output=args.output or None,
+        instructions=args.instructions,
+        rf_size=args.rf_size,
+        repeats=args.repeats,
+        verbose=args.verbose,
+    )
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
@@ -394,6 +420,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "list": _cmd_list,
     "disasm": _cmd_disasm,
+    "bench": _cmd_bench,
 }
 
 

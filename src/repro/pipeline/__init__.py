@@ -1,9 +1,24 @@
-"""Cycle-level out-of-order core (Golden-Cove-like, paper Table 1)."""
+"""Cycle-level out-of-order core (Golden-Cove-like, paper Table 1).
+
+The package is organised as a staged pipeline: ``state`` holds every
+mutable field (:class:`PipelineState`), ``stages`` holds one module per
+per-cycle phase, ``probes`` is the zero-cost-when-off observer layer,
+and ``core`` is the thin orchestrator tying them together.
+"""
 
 from .config import CoreConfig, fast_test_config, golden_cove_config
 from .core import Core, DeadlockError, simulate
 from .interrupts import InterruptController, InterruptStats
+from .probes import (
+    PHASE_ORDER,
+    PROBE_EVENTS,
+    Probe,
+    ProbeManager,
+    RecordingProbe,
+    RegisterEventProbe,
+)
 from .rob import ROBEntry, ReorderBuffer
+from .state import FetchedInstr, PipelineState, StoreRecord, build_state
 from .stats import RegisterEventLog, RegisterLifetime, SimStats
 
 __all__ = [
@@ -12,4 +27,7 @@ __all__ = [
     "InterruptController", "InterruptStats",
     "ReorderBuffer", "ROBEntry",
     "SimStats", "RegisterEventLog", "RegisterLifetime",
+    "PipelineState", "FetchedInstr", "StoreRecord", "build_state",
+    "Probe", "ProbeManager", "RecordingProbe", "RegisterEventProbe",
+    "PROBE_EVENTS", "PHASE_ORDER",
 ]

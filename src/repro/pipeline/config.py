@@ -100,12 +100,18 @@ class CoreConfig:
         return replace(self, scheme=scheme, redefine_delay=delay)
 
     def validate(self) -> None:
+        from ..branch import PREDICTORS
         if self.int_rf_size < 17 + self.freelist_reserve + 1:
             raise ValueError(f"int_rf_size {self.int_rf_size} too small to make progress")
         if self.vec_rf_size < 16 + self.freelist_reserve + 1:
             raise ValueError(f"vec_rf_size {self.vec_rf_size} too small to make progress")
         if self.rob_size < self.rename_width:
             raise ValueError("rob smaller than rename width")
+        if self.predictor not in PREDICTORS:
+            raise ValueError(
+                f"unknown predictor {self.predictor!r}; "
+                f"valid: {', '.join(sorted(PREDICTORS))}"
+            )
 
 
 def golden_cove_config(

@@ -1,108 +1,42 @@
-"""The cycle-level out-of-order core.
+"""The cycle-level out-of-order core: a thin stage orchestrator.
 
-Trace-driven with execution-driven wrong-path modeling, mirroring the
-paper's Scarab setup (section 5.1): the correct path replays the
-functional emulator's trace; after a detected misprediction, fetch follows
-the predicted (wrong) target through the *static* program image, and the
-fabricated wrong-path instructions are renamed, scheduled, and executed
-until the mispredicted branch resolves and the pipeline flushes.
-
-Per-cycle phase order (oldest work first):
-
-1. scheme tick (delayed ATR redefinition signals become visible)
-2. completions (writeback, wakeup, branch resolution -> flush)
-3. precommit pointer advance
-4. commit (up to retire width)
-5. issue (select oldest-ready per port group)
-6. rename/dispatch (up to rename width, with all stall causes)
-7. fetch (up to 2 fetch targets / 6 instructions, icache modeled)
+The machine itself lives in :class:`~repro.pipeline.state.PipelineState`
+(all mutable state) and :mod:`repro.pipeline.stages` (one module per
+phase); observers attach through :mod:`repro.pipeline.probes`.  ``Core``
+wires those together, preserves the public API (``Core(...)``,
+``step()``, ``run()``, stats, ``architectural_state()``), and drives the
+documented per-cycle phase order — see DESIGN.md, "Pipeline
+architecture", the single source of truth for stages, state, and the
+probe event table.
 
 Value execution (``config.execute_values``) computes every correct-path
-result through *physical* registers, so the committed architectural state
-can be compared against the functional emulator — the end-to-end safety
-check for early register release.
+result through *physical* registers, so the committed architectural
+state can be compared against the functional emulator — the end-to-end
+safety check for early register release.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
-from ..branch import (
-    AlwaysNotTaken,
-    AlwaysTaken,
-    Bimodal,
-    BranchUnit,
-    GShare,
-    Prediction,
-    Tage,
-)
-from ..frontend import (
-    ArchState,
-    DynamicInstruction,
-    Trace,
-    WrongPathSupplier,
-    canonical_memory,
-)
-from ..isa import I_BYTES, FLAGS, OpClass, Opcode, RegClass, ireg, vreg
-from ..isa.semantics import compute
-from ..memory import MemoryHierarchy
-from ..rename import CheckpointPool, RenameUnit, make_scheme
+from ..frontend import ArchState, Trace
+from ..rename import make_scheme
 from ..rename.schemes import ReleaseScheme
 from .config import CoreConfig
-from .rob import ROBEntry, ReorderBuffer
+from .probes import Probe, ProbeManager, RegisterEventProbe
+from .stages import (
+    CommitStage,
+    ExecuteStage,
+    ExecuteUnit,
+    FetchStage,
+    FlushStage,
+    IssueStage,
+    PrecommitStage,
+    RenameStage,
+    StagePipeline,
+)
+from .state import PipelineState, build_state
 from .stats import RegisterEventLog, SimStats
-
-_WORD = 8
-
-_PORT_GROUPS = {
-    OpClass.INT_ALU: "alu", OpClass.INT_MUL: "alu", OpClass.INT_DIV: "alu",
-    OpClass.BRANCH: "alu", OpClass.JUMP: "alu", OpClass.JUMP_INDIRECT: "alu",
-    OpClass.CALL: "alu", OpClass.RETURN: "alu",
-    OpClass.VEC_ALU: "alu", OpClass.VEC_MUL: "alu", OpClass.VEC_DIV: "alu",
-    OpClass.NOP: "alu", OpClass.HALT: "alu",
-    OpClass.LOAD: "load", OpClass.VEC_LOAD: "load",
-    OpClass.STORE: "store", OpClass.VEC_STORE: "store",
-}
-
-
-def _make_predictor(name: str):
-    if name == "tage":
-        return Tage()
-    if name == "gshare":
-        return GShare()
-    if name == "bimodal":
-        return Bimodal()
-    if name == "always_taken":
-        return AlwaysTaken()
-    if name == "always_not_taken":
-        return AlwaysNotTaken()
-    raise ValueError(f"unknown predictor {name!r}")
-
-
-class _FetchedInstr:
-    """One instruction sitting in the frontend pipeline."""
-
-    __slots__ = ("ready_cycle", "dyn", "prediction", "mispredicted", "fetch_cycle")
-
-    def __init__(self, ready_cycle: int, dyn: DynamicInstruction,
-                 prediction: Optional[Prediction], mispredicted: bool, fetch_cycle: int):
-        self.ready_cycle = ready_cycle
-        self.dyn = dyn
-        self.prediction = prediction
-        self.mispredicted = mispredicted
-        self.fetch_cycle = fetch_cycle
-
-
-class _StoreRecord:
-    """In-flight store: address/value known at issue, memory written at commit."""
-
-    __slots__ = ("seq", "issued", "words")
-
-    def __init__(self, seq: int):
-        self.seq = seq
-        self.issued = False
-        self.words: List[Tuple[int, int]] = []  # (word-aligned addr, value)
 
 
 class DeadlockError(RuntimeError):
@@ -142,130 +76,192 @@ class Core:
     def __init__(self, config: CoreConfig, trace: Trace,
                  scheme: Optional[ReleaseScheme] = None):
         config.validate()
-        self.config = config
-        self.trace = trace
-        self.cycle = 0
-        self.stats = SimStats()
+        if scheme is None:
+            scheme = make_scheme(config.scheme, config.redefine_delay,
+                                 config.scheme_debug_checks)
+        self.state = build_state(config, trace, scheme)
+        self._chained_release = None
+        self._chained_claim = None
 
-        self.rename_unit = RenameUnit(
-            int_size=config.int_rf_size,
-            vec_size=config.vec_rf_size,
-            counter_bits=config.counter_bits,
-            reserve=config.freelist_reserve,
-        )
-        self.scheme = scheme if scheme is not None else make_scheme(
-            config.scheme, config.redefine_delay, config.scheme_debug_checks
-        )
-        self.scheme.attach(self.rename_unit)
+        #: Register-event log for the analysis package (probe-fed).
+        self.event_log: Optional[RegisterEventLog] = None
+        if config.record_register_events:
+            self.event_log = RegisterEventLog()
+            self.add_probe(RegisterEventProbe(self.event_log))
 
-        self.branch_unit = BranchUnit(direction=_make_predictor(config.predictor))
-        self.memory = MemoryHierarchy(config.memory)
-        # Warm the instruction side with the code image, as the paper's
-        # methodology warms each SimPoint before measurement; kernels are
-        # loop-dominated, so an icache cold start would just add a fixed
-        # DRAM delay to every run.
-        if config.model_icache:
-            code_bytes = len(trace.program) * I_BYTES
-            for addr in range(0, code_bytes, config.memory.line_bytes):
-                self.memory.l1i.fill(addr)
-                self.memory.l2.fill(addr)
-        self.rob = ReorderBuffer(config.rob_size)
-        self.checkpoints = CheckpointPool(config.checkpoints)
-
-        # Frontend state
-        self._cursor = 0  # next correct-path trace index
-        self._wrong_path = False
-        self._wrong_pc: Optional[int] = None
-        self._wp_supplier = WrongPathSupplier(trace.program)
-        self._wp_ras_snapshot: Optional[tuple] = None
-        self._fetch_stall_until = 0
-        self._stalled_for_resolve = False
-        self._fetch_queue: List[_FetchedInstr] = []
-        self._fq_head = 0
-        self._next_seq = 0
-        self._last_fetch_block = -1
-
-        # Scheduling state
-        self._ready: Dict[str, list] = {"alu": [], "load": [], "store": []}
-        self._waiters: Dict[Tuple[RegClass, int], List[ROBEntry]] = {}
-        self._ptag_ready = {
-            RegClass.INT: [True] * config.int_rf_size,
-            RegClass.VEC: [True] * config.vec_rf_size,
-        }
-        self._completions: Dict[int, List[ROBEntry]] = {}
-        self._rs_used = 0
-        self._lq_used = 0
-        self._sq_used = 0
-        self._stores: Dict[int, _StoreRecord] = {}  # seq -> record (in-flight)
-        self._store_order: List[int] = []  # seqs of in-flight stores, ascending
-        # Oracle memory disambiguation: word address -> seqs of in-flight
-        # stores writing it.  Trace addresses are known at rename, so loads
-        # wait only for *conflicting* older stores (perfect memory
-        # dependence prediction, as in trace-driven Scarab).
-        self._store_words: Dict[int, List[int]] = {}
-        self._results: Dict[int, object] = {}  # entry seq -> computed result
-
-        # Value execution
-        self._values = {
-            RegClass.INT: [0] * config.int_rf_size,
-            RegClass.VEC: [(0, 0, 0, 0)] * config.vec_rf_size,
-        }
-        self._mem_values: Dict[int, int] = dict(trace.program.data)
-
-        # Register-event log for the analysis package
-        self.event_log = RegisterEventLog() if config.record_register_events else None
-        #: Per-committed-instruction timeline rows (trace_seq, pc, rename,
-        #: issue, complete, precommit, commit) when record_timeline is set.
-        self.timeline: List[tuple] = []
-        if self.event_log is not None:
-            log = self.event_log
-            self.scheme.release_listener = (
-                lambda file_cls, ptag: log.on_early_release(file_cls, ptag, self.cycle)
-            )
-
-        self._done = False
-        # Optional interrupt controller (repro.pipeline.interrupts); set
-        # by InterruptController itself.
-        self._interrupt_controller = None
-        self._interrupt_fetch_stall = False
-        self._last_committed_trace_seq = -1
+        self.stages = self._build_stages(self.state)
+        self._pipeline = self.stages.in_order
 
         # Online invariant sanitizer (repro.validate).  Imported lazily at
         # construction time only: validate layers on top of the harness,
         # which imports this module, so a top-level import would cycle.
-        # With the switch off, the core holds no checker and every hook
-        # site below is a single `is not None` test.
-        self._checker = None
         if config.check_invariants:
             from ..validate.sanitizer import InvariantChecker
-            self._checker = InvariantChecker(self)
+            self.add_probe(InvariantChecker(self.state))
 
-    # ------------------------------------------------------------------ run --
+    # -- stage construction (overridable: chaos wraps fetch/execute) ------------
+    def _build_stages(self, state: PipelineState) -> StagePipeline:
+        execute_unit = self._make_execute_unit(state)
+        flush = FlushStage(state)
+        return StagePipeline(
+            fetch=self._make_fetch_stage(state),
+            rename=RenameStage(state),
+            issue=IssueStage(state, execute_unit),
+            execute=ExecuteStage(state, flush),
+            precommit=PrecommitStage(state),
+            commit=CommitStage(state),
+            flush=flush,
+            execute_unit=execute_unit,
+        )
+
+    def _make_execute_unit(self, state: PipelineState) -> ExecuteUnit:
+        return ExecuteUnit(state)
+
+    def _make_fetch_stage(self, state: PipelineState) -> FetchStage:
+        return FetchStage(state)
+
+    # -- public state views (delegating to PipelineState) -----------------------
+    config = property(lambda self: self.state.config)
+    trace = property(lambda self: self.state.trace)
+    stats = property(lambda self: self.state.stats)
+    rob = property(lambda self: self.state.rob)
+    scheme = property(lambda self: self.state.scheme)
+    rename_unit = property(lambda self: self.state.rename_unit)
+    branch_unit = property(lambda self: self.state.branch_unit)
+    memory = property(lambda self: self.state.memory)
+    checkpoints = property(lambda self: self.state.checkpoints)
+    #: Per-committed-instruction timeline rows when record_timeline is set.
+    timeline = property(lambda self: self.state.timeline)
+    cycle = property(lambda self: self.state.cycle,
+                     lambda self, v: setattr(self.state, "cycle", v))
+
+    @property
+    def checker(self):
+        """The attached invariant sanitizer probe, or None."""
+        from ..validate.sanitizer import InvariantChecker
+        probes = self.state.probes
+        if probes is None:
+            return None
+        return next(probes.find(InvariantChecker), None)
+
+    # -- probe registration -----------------------------------------------------
+    def add_probe(self, probe: Probe) -> Probe:
+        """Register *probe*; takes effect from the next emission point."""
+        manager = self.state.probes
+        if manager is None:
+            manager = self.state.probes = ProbeManager()
+        manager.add(probe)
+        self._sync_scheme_listeners()
+        return probe
+
+    def remove_probe(self, probe: Probe) -> None:
+        manager = self.state.probes
+        manager.remove(probe)
+        if not manager.probes:
+            self.state.probes = None
+        self._sync_scheme_listeners()
+
+    def _sync_scheme_listeners(self) -> None:
+        """Route the scheme's free/claim callbacks into the probe layer
+        while preserving any externally installed listener."""
+        scheme = self.state.scheme
+        manager = self.state.probes
+        if manager is not None and manager.early_release:
+            if scheme.release_listener is not self._dispatch_release:
+                self._chained_release = scheme.release_listener
+                scheme.release_listener = self._dispatch_release
+        elif scheme.release_listener is self._dispatch_release:
+            scheme.release_listener = self._chained_release
+            self._chained_release = None
+        if manager is not None and manager.claim:
+            if scheme.claim_listener is not self._dispatch_claim:
+                self._chained_claim = scheme.claim_listener
+                scheme.claim_listener = self._dispatch_claim
+        elif scheme.claim_listener is self._dispatch_claim:
+            scheme.claim_listener = self._chained_claim
+            self._chained_claim = None
+
+    def _dispatch_release(self, file_cls, ptag: int) -> None:
+        state = self.state
+        for fn in state.probes.early_release:
+            fn(file_cls, ptag, state.cycle)
+        if self._chained_release is not None:
+            self._chained_release(file_cls, ptag)
+
+    def _dispatch_claim(self, file_cls, ptag: int) -> None:
+        state = self.state
+        for fn in state.probes.claim:
+            fn(file_cls, ptag, state.cycle)
+        if self._chained_claim is not None:
+            self._chained_claim(file_cls, ptag)
+
+    # -- interrupts -------------------------------------------------------------
+    def attach_interrupt_controller(self, controller) -> None:
+        self.state.interrupt_controller = controller
+
+    def interrupt_flush(self, cycle: int) -> int:
+        """Squash the speculative tail at the precommit boundary for
+        interrupt service; see :meth:`FlushStage.interrupt_flush`."""
+        return self.stages.flush.interrupt_flush(self.state, cycle)
+
+    # -- run --------------------------------------------------------------------
     def run(self, max_cycles: Optional[int] = None) -> SimStats:
         """Simulate until the trace is fully committed; returns the stats."""
+        state = self.state
         if max_cycles is None:
-            max_cycles = 5000 + 100 * len(self.trace)
+            max_cycles = 5000 + 100 * len(state.trace)
         last_commit_cycle = 0
         last_committed = 0
-        while not self._done:
-            self.cycle += 1
+        stats = state.stats
+        while not state.done:
+            state.cycle += 1
             self.step()
-            if self.stats.committed != last_committed:
-                last_committed = self.stats.committed
-                last_commit_cycle = self.cycle
-            elif self.cycle - last_commit_cycle > 200_000:
+            if stats.committed != last_committed:
+                last_committed = stats.committed
+                last_commit_cycle = state.cycle
+            elif state.cycle - last_commit_cycle > 200_000:
                 raise self._deadlock("no commit for 200k cycles")
-            if self.cycle >= max_cycles:
+            if state.cycle >= max_cycles:
                 raise self._deadlock(f"exceeded max_cycles={max_cycles}")
-        self.stats.cycles = self.cycle
-        if self.config.conservation_check:
+        stats.cycles = state.cycle
+        if state.config.conservation_check:
             self.check_conservation()
-        return self.stats
+        return stats
+
+    def step(self) -> None:
+        """Advance one cycle through the documented phase order."""
+        state = self.state
+        cycle = state.cycle
+        probes = state.probes
+        if probes is None:
+            state.scheme.tick(cycle)
+            controller = state.interrupt_controller
+            if controller is not None:
+                state.interrupt_fetch_stall = controller.tick(cycle)
+            for stage in self._pipeline:
+                stage.run(state, cycle)
+        else:
+            phase_probes = probes.phase
+            for fn in phase_probes:
+                fn("scheme_tick", cycle)
+            state.scheme.tick(cycle)
+            controller = state.interrupt_controller
+            if controller is not None:
+                state.interrupt_fetch_stall = controller.tick(cycle)
+            for stage in self._pipeline:
+                for fn in phase_probes:
+                    fn(stage.name, cycle)
+                stage.run(state, cycle)
+            for fn in probes.cycle_end:
+                fn(cycle)
+        if state.frontend_exhausted() and len(state.rob) == 0:
+            state.done = True
 
     def _deadlock(self, reason: str) -> DeadlockError:
         """Build a fully diagnosed :class:`DeadlockError` for *reason*."""
         from ..validate.snapshot import pipeline_snapshot
-        head = self.rob.head()
+        state = self.state
+        head = state.rob.head()
         if head is not None:
             head_desc = (f"ROB head #{head.seq} {head.instr.opcode.name}"
                          f" [{'issued' if head.issued else 'not issued'}, "
@@ -274,672 +270,25 @@ class Core:
         else:
             head_desc = "ROB empty"
         return DeadlockError(
-            f"{reason} at cycle {self.cycle} "
-            f"({self.stats.committed}/{len(self.trace)} committed, {head_desc})",
-            cycle=self.cycle,
-            committed=self.stats.committed,
-            total=len(self.trace),
+            f"{reason} at cycle {state.cycle} "
+            f"({state.stats.committed}/{len(state.trace)} committed, {head_desc})",
+            cycle=state.cycle,
+            committed=state.stats.committed,
+            total=len(state.trace),
             head_seq=head.seq if head is not None else None,
             head_opcode=head.instr.opcode.name if head is not None else None,
-            snapshot=pipeline_snapshot(self),
+            snapshot=pipeline_snapshot(state),
         )
 
-    def step(self) -> None:
-        """Advance one cycle."""
-        cycle = self.cycle
-        self.scheme.tick(cycle)
-        if self._interrupt_controller is not None:
-            self._interrupt_fetch_stall = self._interrupt_controller.tick(cycle)
-        self._process_completions(cycle)
-        self._advance_precommit(cycle)
-        self._commit(cycle)
-        self._issue(cycle)
-        self._rename(cycle)
-        self._fetch(cycle)
-        if self._checker is not None:
-            self._checker.end_cycle(cycle)
-        if (
-            self._cursor >= len(self.trace.entries)
-            and self._fq_head >= len(self._fetch_queue)
-            and len(self.rob) == 0
-        ):
-            self._done = True
-
-    # ------------------------------------------------------------- completions --
-    def _process_completions(self, cycle: int) -> None:
-        pending = self._completions.pop(cycle, None)
-        if not pending:
-            return
-        pending.sort(key=lambda e: e.seq)
-        for entry in pending:
-            if entry.squashed:
-                self._results.pop(entry.seq, None)
-                continue
-            entry.completed = True
-            entry.cycle_complete = cycle
-            if self._checker is not None:
-                self._checker.on_writeback(entry)
-            self._writeback(entry)
-            for record in entry.dests:
-                self._set_ready(record.file, record.new_ptag)
-            if entry.instr.is_control:
-                entry.resolved = True
-                if entry.mispredicted:
-                    self._flush_from(entry, cycle)
-
-    def _writeback(self, entry: ROBEntry) -> None:
-        result = self._results.pop(entry.seq, None)
-        if result is None or not entry.dests:
-            return
-        record = entry.dests[0]
-        self._values[record.file][record.new_ptag] = result
-
-    def _set_ready(self, file_cls: RegClass, ptag: int) -> None:
-        self._ptag_ready[file_cls][ptag] = True
-        self.rename_unit.files[file_cls].prt.mark_written(ptag)
-        self.scheme.on_writeback(file_cls, ptag, self.cycle)
-        waiters = self._waiters.pop((file_cls, ptag), None)
-        if not waiters:
-            return
-        for waiter in waiters:
-            if waiter.squashed or waiter.issued:
-                continue
-            waiter.unready_sources -= 1
-            if waiter.unready_sources == 0:
-                self._enqueue_ready(waiter)
-
-    def _enqueue_ready(self, entry: ROBEntry) -> None:
-        group = _PORT_GROUPS[entry.instr.op_class]
-        heapq.heappush(self._ready[group], (entry.seq, entry))
-
-    # ---------------------------------------------------------------- precommit --
-    def _advance_precommit(self, cycle: int) -> None:
-        advanced = 0
-        while advanced < self.config.precommit_width:
-            entry = self.rob.at_offset(self.rob.precommit_offset)
-            if entry is None:
-                break
-            # An exception-causing instruction blocks precommit until it
-            # is *guaranteed not to fault*: for loads/stores that is
-            # address translation (at issue), for divides operand
-            # inspection (also at issue) -- NOT data return.  Precommit
-            # therefore runs far ahead of commit during a cache miss
-            # (paper section 2.3).
-            if entry.instr.may_except and not entry.issued:
-                break
-            if not entry.resolved:
-                break
-            entry.precommitted = True
-            entry.cycle_precommit = cycle
-            if self._checker is not None:
-                self._checker.on_precommit(entry)
-            self.scheme.on_precommit(entry, cycle)
-            if self._interrupt_controller is not None:
-                self._interrupt_controller.on_precommit(entry)
-            if self.event_log is not None:
-                self.event_log.on_redefiner_precommit(entry, cycle)
-            self.rob.precommit_offset += 1
-            advanced += 1
-
-    # ------------------------------------------------------------------- commit --
-    def _commit(self, cycle: int) -> None:
-        for _ in range(self.config.retire_width):
-            entry = self.rob.head()
-            if entry is None or not entry.completed or not entry.precommitted:
-                break
-            self.rob.pop_head()
-            entry.committed = True
-            entry.cycle_commit = cycle
-            instr = entry.instr
-            if instr.is_store:
-                self._commit_store(entry, cycle)
-            if instr.is_load:
-                self._lq_used -= 1
-            if self._checker is not None:
-                self._checker.on_commit(entry)
-            self.scheme.on_commit(entry, cycle)
-            if entry.dyn.trace_seq >= 0:
-                self._last_committed_trace_seq = entry.dyn.trace_seq
-            if self.event_log is not None:
-                self.event_log.on_redefiner_commit(entry, cycle)
-            if entry.has_checkpoint:
-                self.checkpoints.release_older_equal(entry.seq)
-            self.stats.count_commit(instr.op_class.value)
-            if self.config.record_timeline:
-                self.timeline.append(
-                    (entry.dyn.trace_seq, entry.dyn.pc, entry.cycle_rename,
-                     entry.cycle_issue, entry.cycle_complete,
-                     entry.cycle_precommit, entry.cycle_commit)
-                )
-
-    def _commit_store(self, entry: ROBEntry, cycle: int) -> None:
-        record = self._stores.pop(entry.seq, None)
-        if record is not None:
-            for addr, value in record.words:
-                self._mem_values[addr] = value
-            try:
-                self._store_order.remove(entry.seq)
-            except ValueError:
-                pass
-        self._drop_store_words(entry)
-        self._sq_used -= 1
-        if entry.dyn.mem_addr is not None:
-            self.memory.store(cycle, entry.dyn.mem_addr, pc=entry.dyn.pc)
-
-    # -------------------------------------------------------------------- issue --
-    def _issue(self, cycle: int) -> None:
-        ports = {
-            "alu": self.config.alu_ports,
-            "load": self.config.load_ports,
-            "store": self.config.store_ports,
-        }
-        for group, width in ports.items():
-            heap = self._ready[group]
-            deferred = []
-            issued = 0
-            while heap and issued < width:
-                seq, entry = heapq.heappop(heap)
-                if entry.squashed or entry.issued:
-                    continue
-                if group == "load" and self._load_blocked_by_store(entry):
-                    deferred.append((seq, entry))
-                    continue
-                self._do_issue(entry, cycle)
-                issued += 1
-            for item in deferred:
-                heapq.heappush(heap, item)
-
-    def _load_blocked_by_store(self, entry: ROBEntry) -> bool:
-        """True if an older, not-yet-issued store writes a word this load
-        reads (the only ordering a perfectly-predicted machine enforces)."""
-        addr = entry.dyn.mem_addr
-        if addr is None:
-            return False
-        words = 4 if entry.instr.opcode is Opcode.VLD else 1
-        for i in range(words):
-            for store_seq in self._store_words.get(addr + i * _WORD, ()):
-                if store_seq < entry.seq and not self._stores[store_seq].issued:
-                    return True
-        return False
-
-    def _store_word_addrs(self, entry: ROBEntry):
-        addr = entry.dyn.mem_addr
-        if addr is None:
-            return ()
-        words = 4 if entry.instr.opcode is Opcode.VST else 1
-        return tuple(addr + i * _WORD for i in range(words))
-
-    def _do_issue(self, entry: ROBEntry, cycle: int) -> None:
-        entry.issued = True
-        entry.cycle_issue = cycle
-        self._rs_used -= 1
-        # Sanitizer first: its use-after-release / underflow checks must
-        # observe the consumer counts before the scheme decrements them.
-        if self._checker is not None:
-            self._checker.on_issue(entry)
-        self.scheme.on_issue(entry, cycle)
-        if self.event_log is not None and not entry.wrong_path:
-            for file_cls, _slot, ptag in entry.src_ptags:
-                self.event_log.on_consume(file_cls, ptag, cycle)
-        done = cycle + self._execute(entry, cycle)
-        self._completions.setdefault(done, []).append(entry)
-
-    def _execute(self, entry: ROBEntry, cycle: int) -> int:
-        """Perform the execution side effects; returns the latency."""
-        instr = entry.instr
-        op_class = instr.op_class
-        c = self.config
-        if op_class in (OpClass.LOAD, OpClass.VEC_LOAD):
-            return self._execute_load(entry, cycle)
-        if op_class in (OpClass.STORE, OpClass.VEC_STORE):
-            self._execute_store(entry)
-            return c.lat_store
-        if c.execute_values and not entry.wrong_path and instr.dests:
-            if instr.opcode is Opcode.CALL:
-                self._results[entry.seq] = entry.dyn.pc + 1
-            elif instr.op_class not in (OpClass.NOP, OpClass.HALT):
-                srcs = [
-                    self._values[file_cls][ptag]
-                    for file_cls, _slot, ptag in entry.src_ptags
-                ]
-                self._results[entry.seq] = compute(instr, srcs)
-        latency = {
-            OpClass.INT_ALU: c.lat_int_alu,
-            OpClass.INT_MUL: c.lat_int_mul,
-            OpClass.INT_DIV: c.lat_int_div,
-            OpClass.VEC_ALU: c.lat_vec_alu,
-            OpClass.VEC_MUL: c.lat_vec_mul,
-            OpClass.VEC_DIV: c.lat_vec_div,
-            OpClass.BRANCH: c.lat_branch,
-            OpClass.JUMP: c.lat_branch,
-            OpClass.JUMP_INDIRECT: c.lat_branch,
-            OpClass.CALL: c.lat_branch,
-            OpClass.RETURN: c.lat_branch,
-            OpClass.NOP: 1,
-            OpClass.HALT: 1,
-        }[op_class]
-        return latency
-
-    def _execute_store(self, entry: ROBEntry) -> None:
-        record = self._stores.get(entry.seq)
-        if record is None:
-            return
-        record.issued = True
-        if self.config.execute_values and not entry.wrong_path:
-            addr = entry.dyn.mem_addr
-            value = self._values[entry.src_ptags[0][0]][entry.src_ptags[0][2]]
-            if entry.instr.opcode is Opcode.VST:
-                record.words = [
-                    ((addr + i * _WORD), lane) for i, lane in enumerate(value)
-                ]
-            else:
-                record.words = [(addr, value)]
-
-    def _execute_load(self, entry: ROBEntry, cycle: int) -> int:
-        addr = entry.dyn.mem_addr
-        if addr is None:  # wrong-path fetch past image edge; treat as hit
-            return self.config.memory.l1d_latency
-        is_vector = entry.instr.opcode is Opcode.VLD
-        word_count = 4 if is_vector else 1
-        forwarded = self._forward_from_stores(entry.seq, addr, word_count)
-        if self.config.execute_values and not entry.wrong_path:
-            lanes = []
-            for i in range(word_count):
-                word_addr = addr + i * _WORD
-                value = forwarded.get(word_addr)
-                if value is None:
-                    value = self._mem_values.get(word_addr, 0)
-                lanes.append(value)
-            self._results[entry.seq] = tuple(lanes) if is_vector else lanes[0]
-        if not is_vector and len(forwarded) == word_count:
-            return self.config.lat_forward
-        completion = self.memory.load(cycle, addr, pc=entry.dyn.pc)
-        return max(1, completion - cycle)
-
-    def _forward_from_stores(self, load_seq: int, addr: int, word_count: int) -> Dict[int, int]:
-        """Youngest-older-store forwarding, per word."""
-        out: Dict[int, int] = {}
-        wanted = {addr + i * _WORD for i in range(word_count)}
-        for store_seq in reversed(self._store_order):
-            if store_seq >= load_seq:
-                continue
-            record = self._stores[store_seq]
-            if not record.issued:
-                continue
-            for word_addr, value in record.words:
-                if word_addr in wanted and word_addr not in out:
-                    out[word_addr] = value
-        return out
-
-    # -------------------------------------------------------------------- rename --
-    def _rename(self, cycle: int) -> None:
-        renamed = 0
-        config = self.config
-        while renamed < config.rename_width:
-            fetched = self._fetch_queue[self._fq_head] if self._fq_head < len(self._fetch_queue) else None
-            if fetched is None or fetched.ready_cycle > cycle:
-                if renamed == 0 and fetched is None:
-                    self.stats.stall_empty += 1
-                break
-            instr = fetched.dyn.instr
-            if self.rob.is_full:
-                if renamed == 0:
-                    self.stats.stall_rob += 1
-                break
-            if self._rs_used >= config.rs_size:
-                if renamed == 0:
-                    self.stats.stall_rs += 1
-                break
-            if instr.is_load and self._lq_used >= config.lq_size:
-                if renamed == 0:
-                    self.stats.stall_lq += 1
-                break
-            if instr.is_store and self._sq_used >= config.sq_size:
-                if renamed == 0:
-                    self.stats.stall_sq += 1
-                break
-            if not self.rename_unit.can_rename(instr):
-                if renamed == 0:
-                    self.stats.stall_freelist += 1
-                    self.rename_unit.stall_cycles += 1
-                break
-            self._fq_head += 1
-            if self._fq_head > 4096:
-                del self._fetch_queue[: self._fq_head]
-                self._fq_head = 0
-            self._rename_one(fetched, cycle)
-            renamed += 1
-
-    def _rename_one(self, fetched: _FetchedInstr, cycle: int) -> None:
-        dyn = fetched.dyn
-        entry = ROBEntry(
-            seq=dyn.seq,
-            dyn=dyn,
-            cycle_fetch=fetched.fetch_cycle,
-            prediction=fetched.prediction,
-            mispredicted=fetched.mispredicted,
-        )
-        entry.cycle_rename = cycle
-        entry.src_ptags = self.rename_unit.lookup_sources(dyn.instr)
-        # Sanitizer sees the sources before destination allocation (which
-        # could legitimately recycle a ptag an unsafe scheme just freed).
-        if self._checker is not None:
-            self._checker.on_rename_sources(entry)
-        self.scheme.pre_rename(entry, cycle)
-        entry.dests = self.rename_unit.allocate_dests(dyn.instr, cycle, dyn.seq)
-        if self.event_log is not None:
-            for record in entry.dests:
-                self.event_log.on_allocate(
-                    record.file, record.new_ptag, dyn.trace_seq, cycle, entry.wrong_path
-                )
-                self.event_log.on_redefine(record.file, record.prev_ptag, entry, cycle)
-        self.scheme.post_rename(entry, cycle)
-        self.rob.append(entry)
-        self.stats.renamed += 1
-        if entry.wrong_path:
-            self.stats.wrong_path_renamed += 1
-
-        # Scheduling bookkeeping
-        self._rs_used += 1
-        instr = dyn.instr
-        if instr.is_load:
-            self._lq_used += 1
-        if instr.is_store:
-            self._sq_used += 1
-            self._stores[entry.seq] = _StoreRecord(entry.seq)
-            self._store_order.append(entry.seq)
-            for word in self._store_word_addrs(entry):
-                self._store_words.setdefault(word, []).append(entry.seq)
-        unready = 0
-        for file_cls, _slot, ptag in entry.src_ptags:
-            if not self._ptag_ready[file_cls][ptag]:
-                unready += 1
-                self._waiters.setdefault((file_cls, ptag), []).append(entry)
-        for record in entry.dests:
-            self._ptag_ready[record.file][record.new_ptag] = False
-        entry.unready_sources = unready
-        if unready == 0:
-            self._enqueue_ready(entry)
-
-        # Checkpoint low-confidence branches (timing model only)
-        if (
-            instr.is_conditional_branch
-            and fetched.prediction is not None
-            and not fetched.prediction.confident
-        ):
-            entry.has_checkpoint = self.checkpoints.take(
-                entry.seq, self.rename_unit.srt_snapshots()
-            )
-        if self._checker is not None:
-            self._checker.on_rename(entry)
-
-    # --------------------------------------------------------------------- fetch --
-    def _fetch(self, cycle: int) -> None:
-        if cycle < self._fetch_stall_until or self._stalled_for_resolve:
-            return
-        if self._interrupt_fetch_stall:
-            return
-        if len(self._fetch_queue) - self._fq_head >= 3 * self.config.fetch_width:
-            return
-        slots = self.config.fetch_width
-        targets = self.config.fetch_targets_per_cycle
-        while slots > 0 and targets > 0:
-            dyn = self._next_fetch_instr()
-            if dyn is None:
-                break
-            if self.config.model_icache and not self._icache_ok(dyn.pc, cycle):
-                break
-            prediction, mispredicted, taken_redirect = self._predict(dyn)
-            self._fetch_queue.append(
-                _FetchedInstr(
-                    ready_cycle=cycle + self.config.frontend_depth,
-                    dyn=dyn,
-                    prediction=prediction,
-                    mispredicted=mispredicted,
-                    fetch_cycle=cycle,
-                )
-            )
-            self.stats.fetched += 1
-            self._advance_fetch_pc(dyn, prediction, mispredicted)
-            slots -= 1
-            if taken_redirect:
-                targets -= 1
-                self._last_fetch_block = -1
-            if self._stalled_for_resolve:
-                break
-
-    def _next_fetch_instr(self) -> Optional[DynamicInstruction]:
-        if self._wrong_path:
-            if self._wrong_pc is None:
-                return None
-            dyn = self._wp_supplier.fetch(self._wrong_pc, self._next_seq)
-            if dyn is None:
-                return None
-        else:
-            if self._cursor >= len(self.trace.entries):
-                return None
-            traced = self.trace.entries[self._cursor]
-            dyn = DynamicInstruction(
-                seq=self._next_seq,
-                pc=traced.pc,
-                instr=traced.instr,
-                next_pc=traced.next_pc,
-                taken=traced.taken,
-                mem_addr=traced.mem_addr,
-                trace_seq=self._cursor,
-            )
-        dyn.seq = self._next_seq
-        self._next_seq += 1
-        return dyn
-
-    def _icache_ok(self, pc: int, cycle: int) -> bool:
-        """Model fetch-target block accesses; returns False on a miss that
-        stalls the rest of this fetch cycle."""
-        block = (pc * I_BYTES) // self.config.ft_block_bytes
-        if block == self._last_fetch_block:
-            return True
-        completion = self.memory.fetch(cycle, pc * I_BYTES)
-        self._last_fetch_block = block
-        if completion > cycle + self.config.memory.l1i_latency:
-            self._fetch_stall_until = completion
-            return False
-        return True
-
-    def _predict(self, dyn: DynamicInstruction):
-        """Predict control flow; returns (prediction, mispredicted, redirect)."""
-        instr = dyn.instr
-        if not instr.is_control or instr.is_halt:
-            return None, False, False
-        prediction = self.branch_unit.predict(dyn.pc, instr)
-        if dyn.wrong_path:
-            # No ground truth; fetch follows the prediction.
-            return prediction, False, prediction.taken
-        mispredicted = self.branch_unit.resolve(
-            dyn.pc, instr, prediction, dyn.taken, dyn.next_pc
-        )
-        redirect = prediction.taken or dyn.taken
-        return prediction, mispredicted, redirect
-
-    def _advance_fetch_pc(self, dyn: DynamicInstruction,
-                          prediction: Optional[Prediction], mispredicted: bool) -> None:
-        if self._wrong_path:
-            if prediction is not None and prediction.taken:
-                self._wrong_pc = prediction.target  # may be None -> stall
-                if self._wrong_pc is None:
-                    self._stalled_for_resolve = True
-            else:
-                self._wrong_pc = dyn.pc + 1
-            return
-        self._cursor += 1
-        if mispredicted:
-            # Enter wrong-path mode at the predicted target.
-            self._wp_ras_snapshot = self.branch_unit.ras.snapshot()
-            self._wrong_path = True
-            if prediction is not None and prediction.taken and prediction.target is not None:
-                self._wrong_pc = prediction.target
-            elif prediction is not None and not prediction.taken:
-                self._wrong_pc = dyn.pc + 1
-            else:
-                self._wrong_pc = None
-                self._stalled_for_resolve = True
-
-    # --------------------------------------------------------------------- flush --
-    def _flush_from(self, branch_entry: ROBEntry, cycle: int) -> None:
-        """Misprediction recovery at branch resolution."""
-        seq = branch_entry.seq
-        flushed = self.rob.flush_younger(seq)
-        self.stats.flushes += 1
-        self.stats.flushed_instructions += len(flushed)
-
-        # Restore the SRT by the backward walk over previous ptags.
-        for entry in flushed:
-            for record in entry.dests:
-                self.rename_unit.files[record.file].rat.write(record.slot, record.prev_ptag)
-        if self.event_log is not None:
-            for entry in flushed:
-                self.event_log.on_redefiner_flush(entry)
-        if self._checker is not None:
-            self._checker.on_flush(flushed, "branch")
-        # Scheme reclamation (ATR's two-bit walk lives here).
-        self.scheme.on_flush(flushed, cycle)
-
-        # Release scheduling resources.
-        self._release_flushed_resources(flushed)
-
-        # Frontend restart on the correct path.
-        self._fetch_queue = []
-        self._fq_head = 0
-        self._wrong_path = False
-        self._wrong_pc = None
-        self._stalled_for_resolve = False
-        self._last_fetch_block = -1
-        if self._wp_ras_snapshot is not None:
-            self.branch_unit.ras.restore(self._wp_ras_snapshot)
-            self._wp_ras_snapshot = None
-
-        # Recovery timing: exact checkpoint vs walk.
-        if self.checkpoints.has_exact(seq):
-            recovery = self.config.checkpoint_recovery_cycles
-        else:
-            recovery = max(
-                self.config.checkpoint_recovery_cycles,
-                (len(flushed) + self.config.recovery_walk_width - 1)
-                // self.config.recovery_walk_width,
-            )
-        self.checkpoints.squash_younger(seq)
-        self._fetch_stall_until = cycle + self.config.redirect_penalty + recovery
-
-    def _drop_store_words(self, entry: ROBEntry) -> None:
-        for word in self._store_word_addrs(entry):
-            seqs = self._store_words.get(word)
-            if seqs is not None:
-                try:
-                    seqs.remove(entry.seq)
-                except ValueError:
-                    pass
-                if not seqs:
-                    del self._store_words[word]
-
-    def interrupt_flush(self, cycle: int) -> int:
-        """Squash the *speculative* tail of the window for interrupt
-        service (paper section 4.1, option (b)) and rewind fetch.
-
-        The flush boundary is the precommit pointer: precommitted
-        instructions are guaranteed to commit — an early-release scheme
-        may already have freed their previous registers — so they drain
-        normally while everything younger is squashed.  The caller (the
-        interrupt controller) has established via the open-region counter
-        that no ATR claim crosses that boundary; ATR's flush-walk
-        assertions enforce it in debug mode.
-
-        Returns the number of squashed instructions.
-        """
-        boundary_offset = self.rob.precommit_offset
-        if len(self.rob) > boundary_offset:
-            if boundary_offset > 0:
-                boundary_seq = self.rob.at_offset(boundary_offset - 1).seq
-            else:
-                boundary_seq = self.rob.head().seq - 1
-            flushed = self.rob.flush_younger(boundary_seq)
-            self.stats.flushes += 1
-            self.stats.flushed_instructions += len(flushed)
-            for entry in flushed:
-                for record in entry.dests:
-                    self.rename_unit.files[record.file].rat.write(
-                        record.slot, record.prev_ptag
-                    )
-            if self.event_log is not None:
-                for entry in flushed:
-                    self.event_log.on_redefiner_flush(entry)
-            if self._checker is not None:
-                self._checker.on_flush(flushed, "interrupt")
-            self.scheme.on_flush(flushed, cycle)
-            self._release_flushed_resources(flushed)
-            flushed_count = len(flushed)
-        else:
-            flushed_count = 0
-
-        # Restart fetch after the youngest surviving correct-path
-        # instruction (committed or still draining).
-        resume = self._last_committed_trace_seq
-        for entry in self.rob.in_flight():
-            if entry.dyn.trace_seq > resume:
-                resume = entry.dyn.trace_seq
-        self._fetch_queue = []
-        self._fq_head = 0
-        self._wrong_path = False
-        self._wrong_pc = None
-        self._stalled_for_resolve = False
-        self._wp_ras_snapshot = None
-        self._last_fetch_block = -1
-        self._cursor = resume + 1
-        self.checkpoints.squash_younger(-1)
-        return flushed_count
-
-    def _release_flushed_resources(self, flushed) -> None:
-        for entry in flushed:
-            if not entry.issued:
-                self._rs_used -= 1
-            instr = entry.instr
-            if instr.is_load:
-                self._lq_used -= 1
-            if instr.is_store:
-                self._sq_used -= 1
-                self._stores.pop(entry.seq, None)
-                self._drop_store_words(entry)
-            for record in entry.dests:
-                self._ptag_ready[record.file][record.new_ptag] = True
-            self._results.pop(entry.seq, None)
-        if flushed:
-            flushed_seqs = {e.seq for e in flushed}
-            self._store_order = [s for s in self._store_order if s not in flushed_seqs]
-
-    # ------------------------------------------------------------------- queries --
+    # -- queries ----------------------------------------------------------------
     def architectural_state(self) -> ArchState:
         """Committed architectural state (requires value execution)."""
-        if not self.config.execute_values:
-            raise RuntimeError("architectural_state requires execute_values=True")
-        unit = self.rename_unit
-        int_rat = unit.files[RegClass.INT].rat
-        vec_rat = unit.files[RegClass.VEC].rat
-        int_values = self._values[RegClass.INT]
-        vec_values = self._values[RegClass.VEC]
-        return ArchState(
-            int_regs=tuple(int_values[int_rat.read(ireg(i).srt_slot)] for i in range(16)),
-            vec_regs=tuple(vec_values[vec_rat.read(vreg(i).srt_slot)] for i in range(16)),
-            flags=int_values[int_rat.read(FLAGS.srt_slot)],
-            # Canonical form (zero words dropped) — the same helper the
-            # golden-model comparisons apply to the emulator's state.
-            memory=canonical_memory(self._mem_values),
-        )
+        return self.state.architectural_state()
 
     def check_conservation(self) -> None:
-        """Free-list conservation: with an empty ROB every allocated ptag is
-        exactly an SRT mapping."""
-        if len(self.rob) != 0:
-            raise RuntimeError("conservation check requires an empty ROB")
-        for file in self.rename_unit.files.values():
-            file.freelist.check_conservation(file.rat.live_ptags())
+        """Free-list conservation: with an empty ROB every allocated ptag
+        is exactly an SRT mapping."""
+        self.state.check_conservation()
 
 
 def simulate(config: CoreConfig, trace: Trace, max_cycles: Optional[int] = None) -> SimStats:

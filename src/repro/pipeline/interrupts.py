@@ -76,7 +76,7 @@ class InterruptController:
         self._atr_like = isinstance(core.scheme, AtrScheme)
         self.open_region_counter = 0
         self._counted: Set[Tuple[RegClass, int]] = set()
-        core._interrupt_controller = self
+        core.attach_interrupt_controller(self)
 
     # -- injection ----------------------------------------------------------
     def schedule(self, at_cycle: int) -> None:

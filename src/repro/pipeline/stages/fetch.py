@@ -1,0 +1,170 @@
+"""Fetch stage: frontend supply, branch prediction, wrong-path entry.
+
+Trace-driven with execution-driven wrong-path modeling, mirroring the
+paper's Scarab setup (section 5.1): the correct path replays the
+functional emulator's trace; after a detected misprediction, fetch
+follows the predicted (wrong) target through the *static* program image
+until the mispredicted branch resolves and the pipeline flushes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...branch import PREDICTORS, Prediction
+from ...frontend import DynamicInstruction
+from ...isa import I_BYTES
+from ..state import FetchedInstr
+from . import Stage
+
+
+def make_predictor(name: str):
+    """Build a direction predictor from the shared registry."""
+    try:
+        factory = PREDICTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor {name!r}; valid: {', '.join(sorted(PREDICTORS))}"
+        ) from None
+    return factory()
+
+
+class FetchStage(Stage):
+    """Per-cycle instruction supply into the frontend queue."""
+
+    name = "fetch"
+
+    def __init__(self, state):
+        super().__init__(state)
+        config = self.config
+        self.fetch_width = config.fetch_width
+        self.fetch_targets = config.fetch_targets_per_cycle
+        self.frontend_depth = config.frontend_depth
+        self.model_icache = config.model_icache
+        self.ft_block_bytes = config.ft_block_bytes
+        self.l1i_latency = config.memory.l1i_latency
+        self.branch_unit = state.branch_unit
+        self.memory = state.memory
+        self.trace = state.trace
+        self.stats = state.stats
+        self.wp_supplier = state.wp_supplier
+
+    def run(self, state, cycle: int) -> None:
+        if cycle < state.fetch_stall_until or state.stalled_for_resolve:
+            return
+        if state.interrupt_fetch_stall:
+            return
+        fetch_queue = state.fetch_queue
+        if len(fetch_queue) - state.fq_head >= 3 * self.fetch_width:
+            return
+        probes = state.probes
+        ready_at = cycle + self.frontend_depth
+        slots = self.fetch_width
+        targets = self.fetch_targets
+        while slots > 0 and targets > 0:
+            dyn = self._next_instr(state)
+            if dyn is None:
+                break
+            if self.model_icache and not self._icache_ok(state, dyn.pc, cycle):
+                break
+            prediction, mispredicted, taken_redirect = self.predict(dyn)
+            fetched = FetchedInstr(
+                ready_cycle=ready_at,
+                dyn=dyn,
+                prediction=prediction,
+                mispredicted=mispredicted,
+                fetch_cycle=cycle,
+            )
+            fetch_queue.append(fetched)
+            self.stats.fetched += 1
+            if probes is not None:
+                for fn in probes.fetch:
+                    fn(fetched, cycle)
+            self._advance_pc(state, dyn, prediction, mispredicted)
+            slots -= 1
+            if taken_redirect:
+                targets -= 1
+                state.last_fetch_block = -1
+            if state.stalled_for_resolve:
+                break
+
+    # -- supply -------------------------------------------------------------------
+    def _next_instr(self, state) -> Optional[DynamicInstruction]:
+        if state.wrong_path:
+            if state.wrong_pc is None:
+                return None
+            dyn = self.wp_supplier.fetch(state.wrong_pc, state.next_seq)
+            if dyn is None:
+                return None
+        else:
+            if state.cursor >= len(self.trace.entries):
+                return None
+            traced = self.trace.entries[state.cursor]
+            dyn = DynamicInstruction(
+                seq=state.next_seq,
+                pc=traced.pc,
+                instr=traced.instr,
+                next_pc=traced.next_pc,
+                taken=traced.taken,
+                mem_addr=traced.mem_addr,
+                trace_seq=state.cursor,
+            )
+        dyn.seq = state.next_seq
+        state.next_seq += 1
+        return dyn
+
+    def _icache_ok(self, state, pc: int, cycle: int) -> bool:
+        """Model fetch-target block accesses; returns False on a miss that
+        stalls the rest of this fetch cycle."""
+        block = (pc * I_BYTES) // self.ft_block_bytes
+        if block == state.last_fetch_block:
+            return True
+        completion = self.memory.fetch(cycle, pc * I_BYTES)
+        state.last_fetch_block = block
+        if completion > cycle + self.l1i_latency:
+            state.fetch_stall_until = completion
+            return False
+        return True
+
+    # -- prediction ---------------------------------------------------------------
+    def predict(self, dyn: DynamicInstruction):
+        """Predict control flow; returns (prediction, mispredicted, redirect).
+
+        Overridable extension point: the chaos engine's forced-mispredict
+        wrapper subclasses this stage and perturbs the return value.
+        """
+        instr = dyn.instr
+        if not instr.is_control or instr.is_halt:
+            return None, False, False
+        prediction = self.branch_unit.predict(dyn.pc, instr)
+        if dyn.wrong_path:
+            # No ground truth; fetch follows the prediction.
+            return prediction, False, prediction.taken
+        mispredicted = self.branch_unit.resolve(
+            dyn.pc, instr, prediction, dyn.taken, dyn.next_pc
+        )
+        redirect = prediction.taken or dyn.taken
+        return prediction, mispredicted, redirect
+
+    def _advance_pc(self, state, dyn: DynamicInstruction,
+                    prediction: Optional[Prediction], mispredicted: bool) -> None:
+        if state.wrong_path:
+            if prediction is not None and prediction.taken:
+                state.wrong_pc = prediction.target  # may be None -> stall
+                if state.wrong_pc is None:
+                    state.stalled_for_resolve = True
+            else:
+                state.wrong_pc = dyn.pc + 1
+            return
+        state.cursor += 1
+        if mispredicted:
+            # Enter wrong-path mode at the predicted target.
+            state.wp_ras_snapshot = self.branch_unit.ras.snapshot()
+            state.wrong_path = True
+            if prediction is not None and prediction.taken and prediction.target is not None:
+                state.wrong_pc = prediction.target
+            elif prediction is not None and not prediction.taken:
+                state.wrong_pc = dyn.pc + 1
+            else:
+                state.wrong_pc = None
+                state.stalled_for_resolve = True

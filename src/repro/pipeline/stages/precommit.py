@@ -1,0 +1,49 @@
+"""Precommit stage: advance the guaranteed-to-commit pointer.
+
+An exception-causing instruction blocks precommit until it is
+*guaranteed not to fault*: for loads/stores that is address translation
+(at issue), for divides operand inspection (also at issue) — NOT data
+return.  Precommit therefore runs far ahead of commit during a cache
+miss (paper section 2.3).
+"""
+
+from __future__ import annotations
+
+from . import Stage
+
+
+class PrecommitStage(Stage):
+    """Advance the precommit pointer, up to precommit width."""
+
+    name = "precommit"
+
+    def __init__(self, state):
+        super().__init__(state)
+        self.width = self.config.precommit_width
+        self.rob = state.rob
+        self.scheme = state.scheme
+
+    def run(self, state, cycle: int) -> None:
+        rob = self.rob
+        scheme = self.scheme
+        probes = state.probes
+        controller = state.interrupt_controller
+        advanced = 0
+        while advanced < self.width:
+            entry = rob.at_offset(rob.precommit_offset)
+            if entry is None:
+                break
+            if entry.instr.may_except and not entry.issued:
+                break
+            if not entry.resolved:
+                break
+            entry.precommitted = True
+            entry.cycle_precommit = cycle
+            scheme.on_precommit(entry, cycle)
+            if controller is not None:
+                controller.on_precommit(entry)
+            if probes is not None:
+                for fn in probes.precommit:
+                    fn(entry, cycle)
+            rob.precommit_offset += 1
+            advanced += 1

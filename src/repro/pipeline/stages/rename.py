@@ -1,0 +1,154 @@
+"""Rename/dispatch stage: SRT lookup, destination allocation, dispatch.
+
+All structural stall causes live here; a blocked cycle is charged to the
+first blocking cause (``empty``, ``rob``, ``rs``, ``lq``, ``sq``,
+``freelist``), mirrored as ``rename_stall`` probe events.
+"""
+
+from __future__ import annotations
+
+from ..rob import ROBEntry
+from ..state import StoreRecord, store_word_addrs
+from . import Stage
+from .issue import enqueue_ready
+
+
+class RenameStage(Stage):
+    """Rename and dispatch up to rename width instructions per cycle."""
+
+    name = "rename"
+
+    def __init__(self, state):
+        super().__init__(state)
+        config = self.config
+        self.width = config.rename_width
+        self.rs_size = config.rs_size
+        self.lq_size = config.lq_size
+        self.sq_size = config.sq_size
+        self.rob = state.rob
+        self.scheme = state.scheme
+        self.rename_unit = state.rename_unit
+        self.checkpoints = state.checkpoints
+        self.stats = state.stats
+        self.waiters = state.waiters
+        self.ptag_ready = state.ptag_ready
+        self.stores = state.stores
+        self.store_words = state.store_words
+
+    def _stall(self, state, cause: str, cycle: int) -> None:
+        probes = state.probes
+        if probes is not None:
+            for fn in probes.rename_stall:
+                fn(cause, cycle)
+
+    def run(self, state, cycle: int) -> None:
+        renamed = 0
+        stats = self.stats
+        rename_unit = self.rename_unit
+        fetch_queue = state.fetch_queue
+        while renamed < self.width:
+            fq_head = state.fq_head
+            fetched = fetch_queue[fq_head] if fq_head < len(fetch_queue) else None
+            if fetched is None or fetched.ready_cycle > cycle:
+                if renamed == 0 and fetched is None:
+                    stats.stall_empty += 1
+                    self._stall(state, "empty", cycle)
+                break
+            instr = fetched.dyn.instr
+            if self.rob.is_full:
+                if renamed == 0:
+                    stats.stall_rob += 1
+                    self._stall(state, "rob", cycle)
+                break
+            if state.rs_used >= self.rs_size:
+                if renamed == 0:
+                    stats.stall_rs += 1
+                    self._stall(state, "rs", cycle)
+                break
+            if instr.is_load and state.lq_used >= self.lq_size:
+                if renamed == 0:
+                    stats.stall_lq += 1
+                    self._stall(state, "lq", cycle)
+                break
+            if instr.is_store and state.sq_used >= self.sq_size:
+                if renamed == 0:
+                    stats.stall_sq += 1
+                    self._stall(state, "sq", cycle)
+                break
+            if not rename_unit.can_rename(instr):
+                if renamed == 0:
+                    stats.stall_freelist += 1
+                    rename_unit.stall_cycles += 1
+                    self._stall(state, "freelist", cycle)
+                break
+            state.fq_head += 1
+            if state.fq_head > 4096:
+                del fetch_queue[: state.fq_head]
+                state.fq_head = 0
+            self._rename_one(state, fetched, cycle)
+            renamed += 1
+
+    def _rename_one(self, state, fetched, cycle: int) -> None:
+        dyn = fetched.dyn
+        entry = ROBEntry(
+            seq=dyn.seq,
+            dyn=dyn,
+            cycle_fetch=fetched.fetch_cycle,
+            prediction=fetched.prediction,
+            mispredicted=fetched.mispredicted,
+        )
+        entry.cycle_rename = cycle
+        entry.src_ptags = self.rename_unit.lookup_sources(dyn.instr)
+        probes = state.probes
+        # Sources event fires before destination allocation (which could
+        # legitimately recycle a ptag an unsafe scheme just freed) — the
+        # sanitizer captures allocation epochs here.
+        if probes is not None:
+            for fn in probes.rename_sources:
+                fn(entry, cycle)
+        self.scheme.pre_rename(entry, cycle)
+        entry.dests = self.rename_unit.allocate_dests(dyn.instr, cycle, dyn.seq)
+        if probes is not None:
+            for fn in probes.allocate:
+                fn(entry, cycle)
+        self.scheme.post_rename(entry, cycle)
+        self.rob.append(entry)
+        self.stats.renamed += 1
+        if entry.wrong_path:
+            self.stats.wrong_path_renamed += 1
+
+        # Scheduling bookkeeping
+        state.rs_used += 1
+        instr = dyn.instr
+        if instr.is_load:
+            state.lq_used += 1
+        if instr.is_store:
+            state.sq_used += 1
+            self.stores[entry.seq] = StoreRecord(entry.seq)
+            state.store_order.append(entry.seq)
+            for word in store_word_addrs(entry):
+                self.store_words.setdefault(word, []).append(entry.seq)
+        unready = 0
+        ptag_ready = self.ptag_ready
+        for file_cls, _slot, ptag in entry.src_ptags:
+            if not ptag_ready[file_cls][ptag]:
+                unready += 1
+                self.waiters.setdefault((file_cls, ptag), []).append(entry)
+        for record in entry.dests:
+            ptag_ready[record.file][record.new_ptag] = False
+        entry.unready_sources = unready
+        if unready == 0:
+            enqueue_ready(state, entry)
+
+        # Checkpoint low-confidence branches (timing model only)
+        if (
+            instr.is_conditional_branch
+            and fetched.prediction is not None
+            and not fetched.prediction.confident
+        ):
+            entry.has_checkpoint = self.checkpoints.take(
+                entry.seq, self.rename_unit.srt_snapshots()
+            )
+        if probes is not None:
+            for fn in probes.rename:
+                fn(entry, cycle)

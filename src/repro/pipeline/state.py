@@ -1,0 +1,221 @@
+"""The shared machine state every pipeline stage mutates.
+
+``PipelineState`` is the single source of truth for the simulated
+machine: the ROB, rename substrate, release scheme, branch unit, memory
+hierarchy, frontend cursor/queue, scheduling structures, and the value
+state.  Stages (:mod:`repro.pipeline.stages`) receive it through the
+uniform ``Stage.run(state, cycle)`` interface; observers subscribe
+through the probe layer (:mod:`repro.pipeline.probes`) instead of
+reaching into the core.
+
+Everything here is public by design — diagnostics such as
+:func:`repro.validate.snapshot.pipeline_snapshot` read these fields
+directly, which is the supported alternative to attribute-poking the
+old monolithic ``Core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..branch import BranchUnit, Prediction
+from ..frontend import ArchState, DynamicInstruction, Trace, WrongPathSupplier, canonical_memory
+from ..isa import FLAGS, I_BYTES, Opcode, RegClass, ireg, vreg
+from ..memory import MemoryHierarchy
+from ..rename import CheckpointPool, RenameUnit
+from ..rename.schemes import ReleaseScheme
+from .config import CoreConfig
+from .rob import ROBEntry, ReorderBuffer
+from .stats import SimStats
+
+#: Bytes per data word (the unit of store-forwarding bookkeeping).
+WORD = 8
+
+
+class FetchedInstr:
+    """One instruction sitting in the frontend pipeline."""
+
+    __slots__ = ("ready_cycle", "dyn", "prediction", "mispredicted", "fetch_cycle")
+
+    def __init__(self, ready_cycle: int, dyn: DynamicInstruction,
+                 prediction: Optional[Prediction], mispredicted: bool, fetch_cycle: int):
+        self.ready_cycle = ready_cycle
+        self.dyn = dyn
+        self.prediction = prediction
+        self.mispredicted = mispredicted
+        self.fetch_cycle = fetch_cycle
+
+
+class StoreRecord:
+    """In-flight store: address/value known at issue, memory written at commit."""
+
+    __slots__ = ("seq", "issued", "words")
+
+    def __init__(self, seq: int):
+        self.seq = seq
+        self.issued = False
+        self.words: List[Tuple[int, int]] = []  # (word-aligned addr, value)
+
+
+def store_word_addrs(entry: ROBEntry) -> Tuple[int, ...]:
+    """Word-aligned addresses written by a store entry."""
+    addr = entry.dyn.mem_addr
+    if addr is None:
+        return ()
+    words = 4 if entry.instr.opcode is Opcode.VST else 1
+    return tuple(addr + i * WORD for i in range(words))
+
+
+@dataclass(slots=True)
+class PipelineState:
+    """Every mutable piece of one simulated core."""
+
+    config: CoreConfig
+    trace: Trace
+    rename_unit: RenameUnit
+    scheme: ReleaseScheme
+    branch_unit: BranchUnit
+    memory: MemoryHierarchy
+    rob: ReorderBuffer
+    checkpoints: CheckpointPool
+
+    cycle: int = 0
+    done: bool = False
+    stats: SimStats = field(default_factory=SimStats)
+
+    # Frontend
+    cursor: int = 0  # next correct-path trace index
+    wrong_path: bool = False
+    wrong_pc: Optional[int] = None
+    wp_supplier: WrongPathSupplier = None  # type: ignore[assignment]
+    wp_ras_snapshot: Optional[tuple] = None
+    fetch_stall_until: int = 0
+    stalled_for_resolve: bool = False
+    fetch_queue: List[FetchedInstr] = field(default_factory=list)
+    fq_head: int = 0
+    next_seq: int = 0
+    last_fetch_block: int = -1
+
+    # Scheduling
+    ready: Dict[str, list] = field(default_factory=dict)
+    waiters: Dict[Tuple[RegClass, int], List[ROBEntry]] = field(default_factory=dict)
+    ptag_ready: Dict[RegClass, List[bool]] = field(default_factory=dict)
+    completions: Dict[int, List[ROBEntry]] = field(default_factory=dict)
+    rs_used: int = 0
+    lq_used: int = 0
+    sq_used: int = 0
+    stores: Dict[int, StoreRecord] = field(default_factory=dict)
+    store_order: List[int] = field(default_factory=list)
+    # Oracle memory disambiguation: word address -> seqs of in-flight
+    # stores writing it.  Trace addresses are known at rename, so loads
+    # wait only for *conflicting* older stores (perfect memory
+    # dependence prediction, as in trace-driven Scarab).
+    store_words: Dict[int, List[int]] = field(default_factory=dict)
+    results: Dict[int, object] = field(default_factory=dict)
+
+    # Value execution
+    values: Dict[RegClass, list] = field(default_factory=dict)
+    mem_values: Dict[int, int] = field(default_factory=dict)
+
+    # Observation / control
+    probes: Optional[object] = None  # ProbeManager, or None when unprobed
+    timeline: List[tuple] = field(default_factory=list)
+    interrupt_controller: Optional[object] = None
+    interrupt_fetch_stall: bool = False
+    last_committed_trace_seq: int = -1
+
+    # -- derived views ----------------------------------------------------------
+    @property
+    def fetch_queue_depth(self) -> int:
+        return len(self.fetch_queue) - self.fq_head
+
+    def frontend_exhausted(self) -> bool:
+        """No instruction left anywhere ahead of the ROB."""
+        return (self.cursor >= len(self.trace.entries)
+                and self.fq_head >= len(self.fetch_queue))
+
+    # -- shared bookkeeping ------------------------------------------------------
+    def drop_store_words(self, entry: ROBEntry) -> None:
+        for word in store_word_addrs(entry):
+            seqs = self.store_words.get(word)
+            if seqs is not None:
+                try:
+                    seqs.remove(entry.seq)
+                except ValueError:
+                    pass
+                if not seqs:
+                    del self.store_words[word]
+
+    # -- architectural queries ---------------------------------------------------
+    def architectural_state(self) -> ArchState:
+        """Committed architectural state (requires value execution)."""
+        if not self.config.execute_values:
+            raise RuntimeError("architectural_state requires execute_values=True")
+        unit = self.rename_unit
+        int_rat = unit.files[RegClass.INT].rat
+        vec_rat = unit.files[RegClass.VEC].rat
+        int_values = self.values[RegClass.INT]
+        vec_values = self.values[RegClass.VEC]
+        return ArchState(
+            int_regs=tuple(int_values[int_rat.read(ireg(i).srt_slot)] for i in range(16)),
+            vec_regs=tuple(vec_values[vec_rat.read(vreg(i).srt_slot)] for i in range(16)),
+            flags=int_values[int_rat.read(FLAGS.srt_slot)],
+            # Canonical form (zero words dropped) — the same helper the
+            # golden-model comparisons apply to the emulator's state.
+            memory=canonical_memory(self.mem_values),
+        )
+
+    def check_conservation(self) -> None:
+        """Free-list conservation: with an empty ROB every allocated ptag is
+        exactly an SRT mapping."""
+        if len(self.rob) != 0:
+            raise RuntimeError("conservation check requires an empty ROB")
+        for file in self.rename_unit.files.values():
+            file.freelist.check_conservation(file.rat.live_ptags())
+
+
+def build_state(config: CoreConfig, trace: Trace, scheme: ReleaseScheme) -> PipelineState:
+    """Construct the machine state for one run (scheme already built)."""
+    rename_unit = RenameUnit(
+        int_size=config.int_rf_size,
+        vec_size=config.vec_rf_size,
+        counter_bits=config.counter_bits,
+        reserve=config.freelist_reserve,
+    )
+    scheme.attach(rename_unit)
+
+    from .stages.fetch import make_predictor
+    branch_unit = BranchUnit(direction=make_predictor(config.predictor))
+    memory = MemoryHierarchy(config.memory)
+    # Warm the instruction side with the code image, as the paper's
+    # methodology warms each SimPoint before measurement; kernels are
+    # loop-dominated, so an icache cold start would just add a fixed
+    # DRAM delay to every run.
+    if config.model_icache:
+        code_bytes = len(trace.program) * I_BYTES
+        for addr in range(0, code_bytes, config.memory.line_bytes):
+            memory.l1i.fill(addr)
+            memory.l2.fill(addr)
+
+    return PipelineState(
+        config=config,
+        trace=trace,
+        rename_unit=rename_unit,
+        scheme=scheme,
+        branch_unit=branch_unit,
+        memory=memory,
+        rob=ReorderBuffer(config.rob_size),
+        checkpoints=CheckpointPool(config.checkpoints),
+        wp_supplier=WrongPathSupplier(trace.program),
+        ready={"alu": [], "load": [], "store": []},
+        ptag_ready={
+            RegClass.INT: [True] * config.int_rf_size,
+            RegClass.VEC: [True] * config.vec_rf_size,
+        },
+        values={
+            RegClass.INT: [0] * config.int_rf_size,
+            RegClass.VEC: [(0, 0, 0, 0)] * config.vec_rf_size,
+        },
+        mem_values=dict(trace.program.data),
+    )

@@ -107,6 +107,7 @@ class AtrScheme(ConsumerTrackingScheme):
             record.release_prev = None
             self.stats.atr_claims += 1
             self.stats.record_claim_consumers(file.prt.entries[ptag].lifetime_consumers)
+            self._notify_claim(record.file, ptag)
             visible = cycle + self.redefine_delay
             file.prt.mark_redefined(ptag, visible)
             if self.redefine_delay == 0:

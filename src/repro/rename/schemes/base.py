@@ -93,6 +93,9 @@ class ReleaseScheme:
         #: Optional callback(file_cls, ptag) fired on every *early* release;
         #: used by the register-event log and by tests observing releases.
         self.release_listener = None
+        #: Optional callback(file_cls, ptag) fired when an atomic-region
+        #: scheme claims a previous ptag (ATR takes ownership of the free).
+        self.claim_listener = None
 
     def attach(self, unit: RenameUnit) -> None:
         self.unit = unit
@@ -100,6 +103,10 @@ class ReleaseScheme:
     def _notify_release(self, file_cls, ptag: int) -> None:
         if self.release_listener is not None:
             self.release_listener(file_cls, ptag)
+
+    def _notify_claim(self, file_cls, ptag: int) -> None:
+        if self.claim_listener is not None:
+            self.claim_listener(file_cls, ptag)
 
     # -- hooks (default: no-ops) ------------------------------------------------
     def tick(self, cycle: int) -> None:

@@ -42,6 +42,7 @@ from ..harness.jobs import CellResult
 from ..harness.spec import register_spec_type
 from ..memory import HierarchyConfig
 from ..pipeline import Core, CoreConfig, DeadlockError, InterruptController
+from ..pipeline.stages import ExecuteUnit, FetchStage
 from ..rename.errors import RenameError
 from ..workloads import build_trace
 from .sanitizer import InvariantViolation
@@ -137,31 +138,32 @@ def chaos_config(spec: ChaosSpec, rng: random.Random) -> CoreConfig:
     return config
 
 
-class ChaosCore(Core):
-    """A :class:`Core` with seeded timing-fault injection.
+class ChaosExecuteUnit(ExecuteUnit):
+    """Execute unit adding seeded per-instruction latency slack."""
 
-    Perturbations are strictly timing-side: execution latencies gain
-    random slack and correctly predicted conditional branches are
-    randomly overridden into mispredictions.  Architectural results must
-    be unaffected — that is the property under test.
-    """
-
-    def __init__(self, config: CoreConfig, trace, rng: random.Random,
-                 flip_prob: float = 0.0, exec_jitter: int = 0):
-        super().__init__(config, trace)
+    def __init__(self, state, rng: random.Random, exec_jitter: int):
+        super().__init__(state)
         self._rng = rng
-        self._flip_prob = flip_prob
         self._exec_jitter = exec_jitter
-        self.forced_mispredicts = 0
 
-    def _execute(self, entry, cycle: int) -> int:
-        latency = super()._execute(entry, cycle)
+    def dispatch(self, entry, cycle: int) -> int:
+        latency = super().dispatch(entry, cycle)
         if self._exec_jitter:
             latency += self._rng.randint(0, self._exec_jitter)
         return latency
 
-    def _predict(self, dyn: DynamicInstruction):
-        prediction, mispredicted, redirect = super()._predict(dyn)
+
+class ChaosFetchStage(FetchStage):
+    """Fetch stage that randomly overrides correct branch predictions."""
+
+    def __init__(self, state, rng: random.Random, flip_prob: float):
+        super().__init__(state)
+        self._rng = rng
+        self._flip_prob = flip_prob
+        self.forced_mispredicts = 0
+
+    def predict(self, dyn: DynamicInstruction):
+        prediction, mispredicted, redirect = super().predict(dyn)
         if (
             prediction is not None
             and not mispredicted
@@ -181,6 +183,35 @@ class ChaosCore(Core):
             self.forced_mispredicts += 1
             return flipped, True, flipped.taken or dyn.taken
         return prediction, mispredicted, redirect
+
+
+class ChaosCore(Core):
+    """A :class:`Core` with seeded timing-fault injection.
+
+    Perturbations are strictly timing-side, injected through the stage
+    interface (no monkey-patching): :class:`ChaosExecuteUnit` adds
+    random latency slack and :class:`ChaosFetchStage` overrides correctly
+    predicted conditional branches into mispredictions.  Architectural
+    results must be unaffected — that is the property under test.
+    """
+
+    def __init__(self, config: CoreConfig, trace, rng: random.Random,
+                 flip_prob: float = 0.0, exec_jitter: int = 0):
+        # Stage factories run inside super().__init__; params come first.
+        self._rng = rng
+        self._flip_prob = flip_prob
+        self._exec_jitter = exec_jitter
+        super().__init__(config, trace)
+
+    def _make_execute_unit(self, state) -> ExecuteUnit:
+        return ChaosExecuteUnit(state, self._rng, self._exec_jitter)
+
+    def _make_fetch_stage(self, state) -> FetchStage:
+        return ChaosFetchStage(state, self._rng, self._flip_prob)
+
+    @property
+    def forced_mispredicts(self) -> int:
+        return self.stages.fetch.forced_mispredicts
 
 
 def _schedule_interrupts(core: Core, rng: random.Random,

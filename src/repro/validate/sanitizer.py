@@ -25,9 +25,11 @@ Enforced invariants:
   order, and a flush never squashes a precommitted instruction (the
   boundary interrupt flushes rely on).
 
-The checker is attached by ``CoreConfig.check_invariants=True`` and
-costs nothing when detached — the core guards every hook site with a
-single ``is not None`` test.
+The checker is a :class:`~repro.pipeline.probes.Probe` over the public
+:class:`~repro.pipeline.state.PipelineState`; it is attached by
+``CoreConfig.check_invariants=True`` (or ``core.add_probe``) and costs
+nothing when detached — an unprobed core pays a single ``is None`` test
+per emission site.
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from ..pipeline.probes import Probe
 from ..rename.errors import RenameError
 from ..rename.schemes.tracking import ConsumerTrackingScheme
 from .snapshot import format_snapshot, pipeline_snapshot
@@ -93,11 +96,15 @@ class EventRing:
         return len(self._events)
 
 
-class InvariantChecker:
-    """Per-event invariant enforcement over one :class:`Core`'s run."""
+class InvariantChecker(Probe):
+    """Per-event invariant enforcement over one core's run.
 
-    def __init__(self, core, ring_size: int = RING_SIZE):
-        self.core = core
+    Accepts a :class:`~repro.pipeline.state.PipelineState` or a
+    :class:`~repro.pipeline.core.Core` (its state is used).
+    """
+
+    def __init__(self, state, ring_size: int = RING_SIZE):
+        self.state = getattr(state, "state", state)
         self.ring = EventRing(ring_size)
         self.checked_events = 0
         #: seq -> PRT epochs of every source ptag, captured at rename.
@@ -105,16 +112,8 @@ class InvariantChecker:
         self._last_precommit_seq = -1
         self._last_commit_seq = -1
         self._rob_was_occupied = False
-        self._tracks_consumers = isinstance(core.scheme, ConsumerTrackingScheme)
-        # Chain onto the scheme's release listener so early releases land
-        # in the event ring without stealing the event log's callback.
-        previous = core.scheme.release_listener
-        def _on_release(file_cls, ptag, _prev=previous):
-            self.ring.record(core.cycle,
-                             f"early-release {file_cls.value} p{ptag}")
-            if _prev is not None:
-                _prev(file_cls, ptag)
-        core.scheme.release_listener = _on_release
+        self._tracks_consumers = isinstance(self.state.scheme,
+                                            ConsumerTrackingScheme)
 
     # -- failure -----------------------------------------------------------------
     def _fail(self, kind: str, message: str, seq: int = -1,
@@ -122,19 +121,19 @@ class InvariantChecker:
         raise InvariantViolation(
             kind=kind,
             message=message,
-            cycle=self.core.cycle,
+            cycle=self.state.cycle,
             seq=seq,
             file=file_cls.value if file_cls is not None else None,
             ptag=ptag,
-            snapshot=pipeline_snapshot(self.core),
+            snapshot=pipeline_snapshot(self.state),
         )
 
     # -- rename ------------------------------------------------------------------
-    def on_rename_sources(self, entry) -> None:
+    def on_rename_sources(self, entry, cycle: int) -> None:
         """After SRT lookup, before destination allocation: every source
         mapping must be a live (allocated) physical register."""
         self.checked_events += 1
-        files = self.core.rename_unit.files
+        files = self.state.rename_unit.files
         epochs = []
         for file_cls, _slot, ptag in entry.src_ptags:
             file = files[file_cls]
@@ -151,9 +150,9 @@ class InvariantChecker:
             epochs.append(file.prt.epoch(ptag))
         self._src_epochs[entry.seq] = tuple(epochs)
 
-    def on_rename(self, entry) -> None:
+    def on_rename(self, entry, cycle: int) -> None:
         """After the full rename step: destinations must be live."""
-        files = self.core.rename_unit.files
+        files = self.state.rename_unit.files
         for record in entry.dests:
             if files[record.file].freelist.is_free(record.new_ptag):
                 self._fail(
@@ -162,14 +161,15 @@ class InvariantChecker:
                     f"is still on the free list",
                     seq=entry.seq, file_cls=record.file, ptag=record.new_ptag)
         wp = " WP" if entry.wrong_path else ""
-        self.ring.record(self.core.cycle,
+        self.ring.record(cycle,
                          f"rename #{entry.seq} {entry.instr.opcode.name}{wp}")
 
     # -- issue -------------------------------------------------------------------
-    def on_issue(self, entry) -> None:
-        """Before the scheme's issue hook: sources are about to be read."""
+    def on_issue(self, entry, cycle: int) -> None:
+        """Fires before the scheme's issue hook: sources are about to be
+        read, consumer counts not yet decremented."""
         self.checked_events += 1
-        files = self.core.rename_unit.files
+        files = self.state.rename_unit.files
         epochs = self._src_epochs.pop(entry.seq, None)
         for index, (file_cls, _slot, ptag) in enumerate(entry.src_ptags):
             file = files[file_cls]
@@ -199,12 +199,12 @@ class InvariantChecker:
                     f"it was released and reallocated (epoch "
                     f"{epochs[index]} -> {file.prt.epoch(ptag)})",
                     seq=entry.seq, file_cls=file_cls, ptag=ptag)
-        self.ring.record(self.core.cycle, f"issue #{entry.seq}")
+        self.ring.record(cycle, f"issue #{entry.seq}")
 
     # -- writeback ---------------------------------------------------------------
-    def on_writeback(self, entry) -> None:
+    def on_writeback(self, entry, cycle: int) -> None:
         self.checked_events += 1
-        files = self.core.rename_unit.files
+        files = self.state.rename_unit.files
         for record in entry.dests:
             file = files[record.file]
             if file.freelist.is_free(record.new_ptag):
@@ -221,10 +221,10 @@ class InvariantChecker:
                     f"{record.file.value} p{record.new_ptag} after it was "
                     f"released and reallocated",
                     seq=entry.seq, file_cls=record.file, ptag=record.new_ptag)
-        self.ring.record(self.core.cycle, f"writeback #{entry.seq}")
+        self.ring.record(cycle, f"writeback #{entry.seq}")
 
     # -- precommit / commit ------------------------------------------------------
-    def on_precommit(self, entry) -> None:
+    def on_precommit(self, entry, cycle: int) -> None:
         self.checked_events += 1
         if entry.seq <= self._last_precommit_seq:
             self._fail(
@@ -233,9 +233,9 @@ class InvariantChecker:
                 f"#{self._last_precommit_seq}",
                 seq=entry.seq)
         self._last_precommit_seq = entry.seq
-        self.ring.record(self.core.cycle, f"precommit #{entry.seq}")
+        self.ring.record(cycle, f"precommit #{entry.seq}")
 
-    def on_commit(self, entry) -> None:
+    def on_commit(self, entry, cycle: int) -> None:
         self.checked_events += 1
         if entry.seq <= self._last_commit_seq:
             self._fail(
@@ -245,11 +245,11 @@ class InvariantChecker:
                 seq=entry.seq)
         self._last_commit_seq = entry.seq
         self._src_epochs.pop(entry.seq, None)
-        self.ring.record(self.core.cycle,
+        self.ring.record(cycle,
                          f"commit #{entry.seq} {entry.instr.opcode.name}")
 
     # -- flush -------------------------------------------------------------------
-    def on_flush(self, flushed, kind: str) -> None:
+    def on_flush(self, flushed, kind: str, cycle: int) -> None:
         self.checked_events += 1
         for entry in flushed:
             if entry.precommitted:
@@ -260,26 +260,30 @@ class InvariantChecker:
                     f"boundary guarantees it would commit",
                     seq=entry.seq)
             self._src_epochs.pop(entry.seq, None)
-        self.ring.record(self.core.cycle,
+        self.ring.record(cycle,
                          f"{kind}-flush squashed {len(flushed)}")
 
+    # -- releases ----------------------------------------------------------------
+    def on_early_release(self, file_cls, ptag: int, cycle: int) -> None:
+        self.ring.record(cycle, f"early-release {file_cls.value} p{ptag}")
+
     # -- per-cycle ---------------------------------------------------------------
-    def end_cycle(self, cycle: int) -> None:
-        core = self.core
-        config = core.config
-        if not 0 <= core._rs_used <= config.rs_size:
-            self._fail("occupancy", f"RS occupancy {core._rs_used} outside "
+    def on_cycle_end(self, cycle: int) -> None:
+        state = self.state
+        config = state.config
+        if not 0 <= state.rs_used <= config.rs_size:
+            self._fail("occupancy", f"RS occupancy {state.rs_used} outside "
                                     f"[0, {config.rs_size}]")
-        if not 0 <= core._lq_used <= config.lq_size:
-            self._fail("occupancy", f"LQ occupancy {core._lq_used} outside "
+        if not 0 <= state.lq_used <= config.lq_size:
+            self._fail("occupancy", f"LQ occupancy {state.lq_used} outside "
                                     f"[0, {config.lq_size}]")
-        if not 0 <= core._sq_used <= config.sq_size:
-            self._fail("occupancy", f"SQ occupancy {core._sq_used} outside "
+        if not 0 <= state.sq_used <= config.sq_size:
+            self._fail("occupancy", f"SQ occupancy {state.sq_used} outside "
                                     f"[0, {config.sq_size}]")
-        rob_len = len(core.rob)
-        if not 0 <= core.rob.precommit_offset <= rob_len:
+        rob_len = len(state.rob)
+        if not 0 <= state.rob.precommit_offset <= rob_len:
             self._fail("precommit-order",
-                       f"precommit offset {core.rob.precommit_offset} outside "
+                       f"precommit offset {state.rob.precommit_offset} outside "
                        f"ROB occupancy {rob_len}")
         if rob_len == 0:
             if self._rob_was_occupied:
@@ -291,7 +295,7 @@ class InvariantChecker:
     def check_conservation(self) -> None:
         """Free-list conservation, converted to a structured violation."""
         try:
-            self.core.check_conservation()
+            self.state.check_conservation()
         except AssertionError as exc:
             self._fail("conservation",
                        f"free-list conservation failed at ROB-empty point: "

@@ -35,13 +35,18 @@ def _entry_summary(entry) -> Optional[Dict]:
 
 
 def pipeline_snapshot(core) -> Dict:
-    """Capture the core's scheduling state as a JSON-safe dict."""
-    rob = core.rob
+    """Capture the scheduling state as a JSON-safe dict.
+
+    Accepts a ``Core`` or a ``PipelineState`` — only public fields of the
+    pipeline state are read.
+    """
+    state = getattr(core, "state", core)
+    rob = state.rob
     tail = None
     for entry in rob.in_flight():
         tail = entry
     files = {}
-    for file_cls, file in core.rename_unit.files.items():
+    for file_cls, file in state.rename_unit.files.items():
         files[file_cls.value] = {
             "size": file.size,
             "free": file.freelist.free_count,
@@ -50,33 +55,38 @@ def pipeline_snapshot(core) -> Dict:
             "frees": file.freelist.total_frees,
         }
     snap = {
-        "cycle": core.cycle,
-        "committed": core.stats.committed,
-        "trace_length": len(core.trace),
+        "cycle": state.cycle,
+        "committed": state.stats.committed,
+        "trace_length": len(state.trace),
         "rob_occupancy": len(rob),
         "rob_capacity": rob.capacity,
         "rob_head": _entry_summary(rob.head()),
         "rob_tail": _entry_summary(tail),
         "precommit_offset": rob.precommit_offset,
         "freelists": files,
-        "rs_used": core._rs_used,
-        "lq_used": core._lq_used,
-        "sq_used": core._sq_used,
-        "fetch_queue_depth": len(core._fetch_queue) - core._fq_head,
-        "trace_cursor": core._cursor,
-        "wrong_path_fetch": core._wrong_path,
-        "scheme": core.scheme.name,
+        "rs_used": state.rs_used,
+        "lq_used": state.lq_used,
+        "sq_used": state.sq_used,
+        "fetch_queue_depth": state.fetch_queue_depth,
+        "trace_cursor": state.cursor,
+        "wrong_path_fetch": state.wrong_path,
+        "scheme": state.scheme.name,
         "scheme_frees": {
-            "commit": core.scheme.stats.commit_frees,
-            "flush": core.scheme.stats.flush_frees,
-            "atr": core.scheme.stats.atr_frees,
-            "nonspec": core.scheme.stats.nonspec_frees,
+            "commit": state.scheme.stats.commit_frees,
+            "flush": state.scheme.stats.flush_frees,
+            "atr": state.scheme.stats.atr_frees,
+            "nonspec": state.scheme.stats.nonspec_frees,
         },
-        "flushes": core.stats.flushes,
+        "flushes": state.stats.flushes,
     }
-    checker = getattr(core, "_checker", None)
-    if checker is not None:
-        snap["recent_events"] = checker.ring.formatted()
+    # Duck-typed: any attached probe exposing a ring of recent events
+    # (the invariant sanitizer does) contributes its trail.
+    if state.probes is not None:
+        for probe in state.probes:
+            ring = getattr(probe, "ring", None)
+            if ring is not None:
+                snap["recent_events"] = ring.formatted()
+                break
     return snap
 
 

@@ -47,12 +47,12 @@ class TestCleanRuns:
     def test_all_schemes_run_clean_under_sanitizer(self, scheme, source):
         program = assemble(ALL_SOURCES[source], name=source)
         core = _run_checked(program, _sanitized(scheme, rf_size=26))
-        assert core._checker is not None
-        assert core._checker.checked_events > 0
+        assert core.checker is not None
+        assert core.checker.checked_events > 0
 
     def test_checker_absent_when_disabled(self, loop_trace):
         core = Core(fast_test_config(), loop_trace)
-        assert core._checker is None
+        assert core.checker is None
 
     def test_sanitizer_is_pure_observation(self, branchy_program):
         """Checking must not perturb timing: identical stats either way."""
