@@ -16,6 +16,9 @@ Commands:
 * ``cache`` — inspect (``info``) or empty (``clear``) the persistent
   result store (``~/.cache/repro`` or ``$REPRO_CACHE_DIR``).
 * ``analyze`` — trace-level atomic-region analysis of a benchmark.
+* ``lint`` — static analysis of kernel programs: CFG/dataflow findings
+  with stable rule IDs, plus (``--oracle``) the dynamic-vs-static ATR
+  soundness cross-check; exits non-zero on any unsuppressed finding.
 * ``list`` — the benchmark suite (paper Table 2).
 * ``disasm`` — disassemble a benchmark's kernel program.
 """
@@ -132,6 +135,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser("analyze", help="atomic-region analysis")
     _add_common(analyze)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis of kernel programs (CFG/dataflow lints, "
+             "optional dynamic-vs-static ATR soundness oracle)")
+    lint.add_argument("benchmarks", nargs="*",
+                      help="suite names to lint (e.g. mcf 505.mcf_r)")
+    lint.add_argument("--all", action="store_true",
+                      help="lint every benchmark in the suite")
+    lint.add_argument("--oracle", action="store_true",
+                      help="also run each kernel through the pipeline and "
+                           "cross-check every ATR release against the "
+                           "static atomic-region proof")
+    lint.add_argument("-n", "--instructions", type=int, default=1200,
+                      help="oracle trace length (default 1200)")
+    lint.add_argument("-v", "--verbose", action="store_true",
+                      help="show suppressed findings and per-kernel stats")
 
     sub.add_parser("list", help="list the benchmark suite")
 
@@ -376,6 +396,50 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .staticcheck import analyze_regions, check_trace, lint_program
+    from .workloads import ALL_BENCHMARKS, build_trace, builder_for, resolve
+
+    if args.all:
+        names = list(ALL_BENCHMARKS)
+    elif args.benchmarks:
+        try:
+            names = [resolve(b) for b in args.benchmarks]
+        except KeyError as exc:
+            print(f"lint: {exc.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        print("lint: name benchmarks or pass --all", file=sys.stderr)
+        return 2
+
+    failed = 0
+    for name in names:
+        program = builder_for(name)(4)
+        report = lint_program(program)
+        static = analyze_regions(program)
+        counts = static.counts()
+        status = "clean" if report.ok else f"{len(report.active)} finding(s)"
+        if report.suppressed:
+            status += f" (+{len(report.suppressed)} suppressed)"
+        print(f"{name}: {status}; {counts['atomic']}/{counts['closed']} "
+              f"closed windows statically atomic")
+        shown = report.findings if args.verbose else report.active
+        for finding in shown:
+            print(finding.render(program))
+        if not report.ok:
+            failed += 1
+        if args.oracle:
+            trace = build_trace(name, args.instructions)
+            for scheme in ("atr", "combined"):
+                oracle = check_trace(trace, scheme=scheme, report=static)
+                print(f"  oracle {oracle.render()}")
+                if not oracle.ok:
+                    failed += 1
+    if failed:
+        print(f"lint: {failed} benchmark/oracle failure(s)", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _cmd_list(_args) -> int:
     from .workloads import SPEC_FP, SPEC_INT
 
@@ -418,6 +482,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "cache": _cmd_cache,
     "analyze": _cmd_analyze,
+    "lint": _cmd_lint,
     "list": _cmd_list,
     "disasm": _cmd_disasm,
     "bench": _cmd_bench,

@@ -14,7 +14,7 @@ assembly::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .instruction import Instruction, validate_instruction
@@ -23,6 +23,16 @@ from .registers import FLAGS, ArchReg, ireg
 
 #: Link register written by CALL and read by RET.
 LINK_REG = ireg(15)
+
+
+class ProgramValidationError(ValueError):
+    """A built program is structurally malformed: an unresolved or
+    out-of-range control target, or code that can fall off the image.
+
+    Raised by :meth:`ProgramBuilder.build` so malformed (e.g.
+    synthesized) programs fail at build time instead of inside the
+    emulator or the pipeline's fetch stage.
+    """
 
 
 @dataclass(frozen=True)
@@ -250,6 +260,27 @@ class ProgramBuilder:
     def vreduce(self, d: ArchReg, a: ArchReg) -> int:
         return self._emit(Opcode.VREDUCE, [d], [a])
 
+    # -- lint suppression -----------------------------------------------------
+    def lint_ignore(self, *rules: str) -> "ProgramBuilder":
+        """Suppress the named lint rules on the last emitted instruction.
+
+        Attaches a ``lint: ignore[rule-id, ...]`` marker to the
+        instruction's comment, which ``repro.staticcheck`` honors when
+        reporting findings::
+
+            b.add(r(2), r(2), r(6))
+            b.lint_ignore("df-dead-store")  # immediate redefinition is the point
+        """
+        if not rules:
+            raise ValueError("lint_ignore needs at least one rule id")
+        if not self._instructions:
+            raise ValueError("lint_ignore must follow an emitted instruction")
+        last = self._instructions[-1]
+        marker = f"lint: ignore[{', '.join(rules)}]"
+        comment = f"{last.comment} {marker}".strip()
+        self._instructions[-1] = replace(last, comment=comment)
+        return self
+
     # -- misc -----------------------------------------------------------------
     def nop(self) -> int:
         return self._emit(Opcode.NOP)
@@ -259,25 +290,33 @@ class ProgramBuilder:
 
     # -- finalization -----------------------------------------------------------
     def build(self) -> Program:
-        """Resolve forward labels and freeze into a :class:`Program`."""
+        """Resolve forward labels, validate, freeze into a :class:`Program`.
+
+        Raises :class:`ProgramValidationError` if a control-flow target
+        does not resolve to a pc inside the final code image (the
+        auto-appended trailing HALT also rules out falling off the end),
+        so malformed programs fail here instead of inside the emulator.
+        """
         resolved: List[Instruction] = []
         for pc, instr in enumerate(self._instructions):
             target = instr.target
             if isinstance(target, _ForwardLabel):
                 if target.name not in self._labels:
-                    raise ValueError(f"undefined label {target.name!r} at pc {pc}")
-                instr = Instruction(
-                    opcode=instr.opcode,
-                    dests=instr.dests,
-                    srcs=instr.srcs,
-                    imm=instr.imm,
-                    target=self._labels[target.name],
-                    label=instr.label,
-                )
+                    raise ProgramValidationError(
+                        f"undefined label {target.name!r} at pc {pc}")
+                instr = replace(instr, target=self._labels[target.name])
             validate_instruction(instr)
             resolved.append(instr)
         if not resolved or not resolved[-1].is_halt:
             resolved.append(Instruction(Opcode.HALT))
+        size = len(resolved)
+        for pc, instr in enumerate(resolved):
+            if (instr.is_control and not instr.is_indirect
+                    and not instr.is_halt
+                    and not 0 <= instr.target < size):
+                raise ProgramValidationError(
+                    f"{instr.opcode.value} at pc {pc} targets {instr.target}, "
+                    f"outside the code image [0, {size})")
         return Program(
             instructions=tuple(resolved),
             labels=dict(self._labels),

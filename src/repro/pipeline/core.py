@@ -82,6 +82,12 @@ class Core:
         self.state = build_state(config, trace, scheme)
         self._chained_release = None
         self._chained_claim = None
+        # Freeze the dispatcher bound methods: attribute access would mint
+        # a fresh bound-method object each time, defeating the identity
+        # checks in _sync_scheme_listeners (and self-chaining the
+        # dispatcher once a second release/claim subscriber registers).
+        self._dispatch_release = self._dispatch_release
+        self._dispatch_claim = self._dispatch_claim
 
         #: Register-event log for the analysis package (probe-fed).
         self.event_log: Optional[RegisterEventLog] = None

@@ -1,0 +1,50 @@
+"""Static analysis over :class:`repro.isa.Program`.
+
+ATR's correctness argument is *static*: a register renamed and redefined
+inside an atomic commit region — no conditional branch, indirect jump,
+or exception-causing instruction between its defining and redefining
+instructions — can never gain a new consumer after the redefiner renames,
+so it may be released out of order.  The dynamic machinery in
+``repro.rename.schemes`` discovers those regions at rename time; this
+package proves them from the program text alone, giving an independent
+oracle for the runtime and a lint layer for the hand-written kernels.
+
+Passes, in pipeline order:
+
+1. :mod:`~repro.staticcheck.cfg` — basic blocks and control-flow edges
+   (fallthrough / branch / CALL / RET, conservative indirect handling);
+2. :mod:`~repro.staticcheck.dataflow` — reaching definitions, liveness,
+   and per-register def→redef window enumeration on that CFG;
+3. :mod:`~repro.staticcheck.regions` — the static atomic-region pass,
+   mirroring the exact breaker rules of
+   :func:`repro.analysis.regions.classify_regions`;
+4. :mod:`~repro.staticcheck.lints` — findings with stable rule IDs;
+5. :mod:`~repro.staticcheck.oracle` — the differential soundness oracle
+   cross-checking pipeline releases against statically-proven windows.
+"""
+
+from .cfg import CFG, BasicBlock, build_cfg
+from .dataflow import DataflowResult, Window, analyze_dataflow
+from .lints import RULES, LintReport, lint_benchmark, lint_program
+from .oracle import (
+    AtrSoundnessProbe,
+    AtrViolation,
+    OracleReport,
+    branch_free_counts_match,
+    check_benchmark,
+    check_trace,
+    compare_branch_free,
+)
+from .regions import StaticRegionReport, StaticWindow, analyze_regions
+from .report import Finding, Severity, render_findings
+
+__all__ = [
+    "CFG", "BasicBlock", "build_cfg",
+    "DataflowResult", "Window", "analyze_dataflow",
+    "StaticRegionReport", "StaticWindow", "analyze_regions",
+    "RULES", "LintReport", "lint_program", "lint_benchmark",
+    "AtrSoundnessProbe", "AtrViolation", "OracleReport",
+    "check_trace", "check_benchmark", "compare_branch_free",
+    "branch_free_counts_match",
+    "Finding", "Severity", "render_findings",
+]

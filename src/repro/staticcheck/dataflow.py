@@ -1,0 +1,226 @@
+"""Classic dataflow over the CFG: reaching definitions and liveness.
+
+Both analyses treat program entry as a *virtual definition* of every
+architectural register (the machine starts with a valid SRT mapping per
+register — the zero-initialized state), and treat every exit — ``HALT``,
+or any block with no successors — as using every register (the final
+architectural state is the program's observable output, compared against
+the golden model by the validation harness).  A "dead store" is
+therefore a definition that is re-defined on every path before any use
+*including* the final-state read-out, and an "undefined read" is a use
+that the entry definition may still reach — suspicious, not fatal, since
+registers are zero-initialized.
+
+Def sites are numbered densely (virtual entry defs first) and the sets
+are plain integer bitsets, so fixpoints are a few dozen ``int`` ops per
+block even for the largest kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import ArchReg, Program, all_arch_regs
+from .cfg import CFG, build_cfg
+
+
+@dataclass(frozen=True)
+class DefSite:
+    """One static definition of one register.
+
+    ``pc is None`` is the virtual entry definition (initial SRT mapping).
+    """
+
+    id: int
+    pc: Optional[int]
+    reg: ArchReg
+
+
+@dataclass(frozen=True)
+class Window:
+    """A def→redef window: *def_pc* (``None`` = entry) reaches *redef_pc*,
+    which redefines the same register, along at least one path."""
+
+    reg: ArchReg
+    def_pc: Optional[int]
+    redef_pc: int
+
+
+class DataflowResult:
+    """Reaching definitions + liveness of one program."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.program: Program = cfg.program
+        self._regs: Tuple[ArchReg, ...] = all_arch_regs()
+        self._reg_bit: Dict[ArchReg, int] = {
+            reg: i for i, reg in enumerate(self._regs)}
+        self._all_regs_mask = (1 << len(self._regs)) - 1
+
+        # -- def-site numbering: entry defs first, then program order ------
+        self.def_sites: List[DefSite] = [
+            DefSite(i, None, reg) for i, reg in enumerate(self._regs)]
+        self._defs_of_reg: Dict[ArchReg, int] = {
+            reg: 1 << site.id for site in self.def_sites
+            for reg in (site.reg,)}
+        self._site_at: Dict[Tuple[int, ArchReg], DefSite] = {}
+        for pc, instr in enumerate(self.program.instructions):
+            for reg in instr.dests:
+                site = DefSite(len(self.def_sites), pc, reg)
+                self.def_sites.append(site)
+                self._defs_of_reg[reg] |= 1 << site.id
+                self._site_at[(pc, reg)] = site
+
+        self._reach_in: List[int] = []
+        self._live_out: List[int] = []
+        if cfg.blocks:
+            self._solve_reaching()
+            self._solve_liveness()
+
+    # -- fixpoints --------------------------------------------------------
+    def _block_gen_kill(self, block) -> Tuple[int, int]:
+        gen = 0
+        kill = 0
+        for pc in block.pcs():
+            for reg in self.program.instructions[pc].dests:
+                mask = self._defs_of_reg[reg]
+                gen = (gen & ~mask) | (1 << self._site_at[(pc, reg)].id)
+                kill |= mask
+        return gen, kill
+
+    def _solve_reaching(self) -> None:
+        blocks = self.cfg.blocks
+        gen_kill = [self._block_gen_kill(b) for b in blocks]
+        entry_bits = sum(1 << site.id for site in self.def_sites
+                         if site.pc is None)
+        self._reach_in = [0] * len(blocks)
+        self._reach_in[0] = entry_bits
+        out = [gen | (self._reach_in[i] & ~kill)
+               for i, (gen, kill) in enumerate(gen_kill)]
+        work = list(range(len(blocks)))
+        while work:
+            index = work.pop()
+            block = blocks[index]
+            new_in = entry_bits if index == 0 else 0
+            for pred in block.preds:
+                new_in |= out[pred]
+            self._reach_in[index] = new_in
+            gen, kill = gen_kill[index]
+            new_out = gen | (new_in & ~kill)
+            if new_out != out[index]:
+                out[index] = new_out
+                for succ, _kind in block.succs:
+                    if succ not in work:
+                        work.append(succ)
+
+    def _solve_liveness(self) -> None:
+        blocks = self.cfg.blocks
+        use = [0] * len(blocks)
+        defs = [0] * len(blocks)
+        for i, block in enumerate(blocks):
+            u = 0
+            d = 0
+            for pc in reversed(block.pcs()):
+                instr = self.program.instructions[pc]
+                dmask = 0
+                for reg in instr.dests:
+                    dmask |= 1 << self._reg_bit[reg]
+                u &= ~dmask
+                d |= dmask
+                for reg in instr.srcs:
+                    u |= 1 << self._reg_bit[reg]
+            use[i], defs[i] = u, d
+        live_in = [0] * len(blocks)
+        self._live_out = [0] * len(blocks)
+        work = list(range(len(blocks)))
+        while work:
+            index = work.pop()
+            block = blocks[index]
+            if block.succs:
+                out = 0
+                for succ, _kind in block.succs:
+                    out |= live_in[succ]
+            else:
+                # Exit block: the final architectural state is observable.
+                out = self._all_regs_mask
+            self._live_out[index] = out
+            new_in = use[index] | (out & ~defs[index])
+            if new_in != live_in[index]:
+                live_in[index] = new_in
+                for pred in block.preds:
+                    if pred not in work:
+                        work.append(pred)
+
+    # -- queries ----------------------------------------------------------
+    def _reach_at(self, pc: int) -> int:
+        """Def-site bitset reaching *pc* (before the instruction executes)."""
+        block = self.cfg.block_of(pc)
+        bits = self._reach_in[block.index]
+        for q in range(block.start, pc):
+            for reg in self.program.instructions[q].dests:
+                bits = (bits & ~self._defs_of_reg[reg]) \
+                    | (1 << self._site_at[(q, reg)].id)
+        return bits
+
+    def defs_reaching(self, pc: int, reg: Optional[ArchReg] = None
+                      ) -> List[DefSite]:
+        bits = self._reach_at(pc)
+        return [site for site in self.def_sites
+                if bits >> site.id & 1 and (reg is None or site.reg == reg)]
+
+    def live_after(self, pc: int) -> frozenset:
+        """Registers live immediately after the instruction at *pc*."""
+        block = self.cfg.block_of(pc)
+        live = self._live_out[block.index]
+        for q in range(block.end - 1, pc, -1):
+            instr = self.program.instructions[q]
+            for reg in instr.dests:
+                live &= ~(1 << self._reg_bit[reg])
+            for reg in instr.srcs:
+                live |= 1 << self._reg_bit[reg]
+        return frozenset(reg for reg, bit in self._reg_bit.items()
+                         if live >> bit & 1)
+
+    def maybe_undefined_reads(self, pc: int) -> List[ArchReg]:
+        """Source registers at *pc* the entry definition may still reach."""
+        bits = self._reach_at(pc)
+        out = []
+        for reg in self.program.instructions[pc].srcs:
+            entry_id = self._reg_bit[reg]  # entry defs are numbered 0..n_regs
+            if bits >> entry_id & 1 and reg not in out:
+                out.append(reg)
+        return out
+
+    def dead_stores(self) -> List[Tuple[int, ArchReg]]:
+        """Definitions whose register is not live after the instruction."""
+        out = []
+        reachable = self.cfg.reachable()
+        for pc, instr in enumerate(self.program.instructions):
+            if self.cfg.block_index[pc] not in reachable:
+                continue  # unreachable code gets its own finding
+            if not instr.dests:
+                continue
+            live = self.live_after(pc)
+            for reg in instr.dests:
+                if reg not in live:
+                    out.append((pc, reg))
+        return out
+
+    def windows(self, reg: Optional[ArchReg] = None) -> List[Window]:
+        """Every def→redef window, over all paths (may-reach)."""
+        out = []
+        for pc, instr in enumerate(self.program.instructions):
+            for dest in instr.dests:
+                if reg is not None and dest != reg:
+                    continue
+                for site in self.defs_reaching(pc, dest):
+                    out.append(Window(dest, site.pc, pc))
+        return out
+
+
+def analyze_dataflow(program_or_cfg) -> DataflowResult:
+    """Run reaching definitions + liveness; accepts a Program or a CFG."""
+    cfg = (program_or_cfg if isinstance(program_or_cfg, CFG)
+           else build_cfg(program_or_cfg))
+    return DataflowResult(cfg)

@@ -1,0 +1,174 @@
+"""Lint rules over the CFG/dataflow results, with inline suppression.
+
+Every rule has a stable ID (the suppression and test contract):
+
+=======================  ========  ==============================================
+rule                     severity  fires when
+=======================  ========  ==============================================
+``cfg-bad-target``       error     direct branch/jump/call target missing or
+                                   outside the code image
+``cfg-fallthrough-end``  error     execution can run off the end of the image
+``cfg-call-ret-imbalance`` error   a ``RET`` is executable with no unmatched
+                                   ``CALL`` on any path from entry
+``cfg-unreachable``      warning   a basic block no CFG path from entry reaches
+``df-undef-read``        warning   a source read the virtual entry definition
+                                   may still reach (register never written on
+                                   some path; reads as zero)
+``df-dead-store``        warning   a destination write that no path uses before
+                                   redefinition (the final architectural state
+                                   counts as a use)
+=======================  ========  ==============================================
+
+A finding is suppressed by a ``lint: ignore[rule-id]`` marker in the
+instruction's ``comment`` field — attached in kernel source via
+:meth:`repro.isa.ProgramBuilder.lint_ignore` on the offending emit.
+Suppressed findings stay in the report (marked) but do not fail the run.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import Program
+from .cfg import CFG, build_cfg
+from .dataflow import DataflowResult, analyze_dataflow
+from .report import Finding, Severity, render_findings
+
+#: rule id -> (severity, one-line description).
+RULES: Dict[str, Tuple[Severity, str]] = {
+    "cfg-bad-target": (
+        Severity.ERROR,
+        "direct control-flow target missing or outside the code image"),
+    "cfg-fallthrough-end": (
+        Severity.ERROR,
+        "execution can fall through past the end of the code image"),
+    "cfg-call-ret-imbalance": (
+        Severity.ERROR,
+        "RET executable without an unmatched CALL (empty link register)"),
+    "cfg-unreachable": (
+        Severity.WARNING,
+        "basic block unreachable from program entry"),
+    "df-undef-read": (
+        Severity.WARNING,
+        "read of a register that may never have been written"),
+    "df-dead-store": (
+        Severity.WARNING,
+        "destination is never used before being redefined"),
+}
+
+_IGNORE_RE = re.compile(r"lint:\s*ignore\[([a-z0-9\-,\s]+)\]")
+
+
+def suppressed_rules(comment: str) -> Tuple[str, ...]:
+    """Rule IDs named by ``lint: ignore[...]`` markers in *comment*."""
+    rules: List[str] = []
+    for match in _IGNORE_RE.finditer(comment or ""):
+        rules.extend(part.strip() for part in match.group(1).split(",")
+                     if part.strip())
+    return tuple(rules)
+
+
+@dataclass
+class LintReport:
+    """All findings of one program, suppressed ones included (marked)."""
+
+    program: Program
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.active if f.severity is Severity.ERROR]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+    def by_rule(self, rule: str) -> List[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def render(self) -> str:
+        if not self.findings:
+            return f"{self.program.name}: clean"
+        return render_findings(self.findings, self.program)
+
+
+class _Linter:
+    def __init__(self, program: Program, cfg: Optional[CFG] = None,
+                 dataflow: Optional[DataflowResult] = None):
+        self.program = program
+        self.cfg = cfg if cfg is not None else build_cfg(program)
+        self.dataflow = (dataflow if dataflow is not None
+                         else DataflowResult(self.cfg))
+        self.report = LintReport(program=program)
+
+    def _emit(self, rule: str, pc: int, message: str) -> None:
+        severity, _ = RULES[rule]
+        instr = self.program.at(pc)
+        suppressed = (instr is not None
+                      and rule in suppressed_rules(instr.comment))
+        self.report.findings.append(Finding(
+            rule=rule, severity=severity, program=self.program.name,
+            pc=pc, message=message, suppressed=suppressed))
+
+    def run(self) -> LintReport:
+        cfg = self.cfg
+        for pc in cfg.bad_targets:
+            instr = self.program.instructions[pc]
+            self._emit("cfg-bad-target", pc,
+                       f"target {instr.target!r} of {instr.opcode.value} "
+                       f"is not a pc in [0, {len(self.program)})")
+        for pc in cfg.falls_off_end:
+            self._emit("cfg-fallthrough-end", pc,
+                       "control continues past the last instruction")
+        for pc in cfg.top_level_rets():
+            self._emit("cfg-call-ret-imbalance", pc,
+                       "RET reachable from entry with call depth 0")
+        reachable = cfg.reachable()
+        last = cfg.blocks[-1] if cfg.blocks else None
+        for block in cfg.blocks:
+            if block.index in reachable:
+                continue
+            # The builder appends a terminator HALT to programs whose
+            # last authored instruction is a RET/JMP; that generated
+            # padding block has no source line to hang a suppression on.
+            if (block is last and block.end - block.start == 1
+                    and self.program.instructions[block.start].is_halt):
+                continue
+            self._emit("cfg-unreachable", block.start,
+                       f"block [{block.start}, {block.end}) has no "
+                       f"path from entry")
+        for pc, instr in enumerate(self.program.instructions):
+            if cfg.block_index[pc] not in reachable:
+                continue
+            for reg in self.dataflow.maybe_undefined_reads(pc):
+                self._emit("df-undef-read", pc,
+                           f"{reg.name} may be read before any write "
+                           f"(reads as zero)")
+        for pc, reg in self.dataflow.dead_stores():
+            self._emit("df-dead-store", pc,
+                       f"{reg.name} is redefined on every path before "
+                       f"any use")
+        return self.report
+
+
+def lint_program(program: Program, cfg: Optional[CFG] = None,
+                 dataflow: Optional[DataflowResult] = None) -> LintReport:
+    """Run every rule against *program*."""
+    return _Linter(program, cfg=cfg, dataflow=dataflow).run()
+
+
+def lint_benchmark(name: str, iterations: int = 4) -> LintReport:
+    """Lint one workload kernel by (resolved) benchmark name."""
+    from ..workloads import builder_for, resolve
+    program = builder_for(resolve(name))(iterations)
+    return lint_program(program)

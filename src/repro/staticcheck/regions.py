@@ -1,0 +1,162 @@
+"""Static atomic-region pass: prove def→redef windows atomic from text.
+
+The dynamic classifier (:func:`repro.analysis.regions.classify_regions`)
+and the runtime ATR scheme both discover regions along the *renamed
+instruction stream*.  The key structural fact that makes a static mirror
+exact is that the stream between a definition and a breaker-free
+redefinition is **deterministic**: the only instructions that can fork
+the renamed stream are conditional branches and indirect jumps — and
+those are precisely the region-*breaking* control instructions.  Direct
+``JMP``/``CALL`` never mispredict in this machine (the decoder hands
+fetch the static target), so any window that contains one still follows
+the unique static successor chain.
+
+Each definition site therefore owns at most one *chain*: walk
+fallthrough / ``JMP`` target / ``CALL`` target successors until the
+register is redefined (window closes) or a region-breaking control
+instruction, ``HALT``, the image edge, or a revisit (a ``JMP`` loop with
+no redefinition) ends the chain.  Per step the breaker rules are applied
+in the dynamic classifier's exact order:
+
+1. region-breaking control (``BEQ``/``BNE``/``BLT``/``BGE``/``JR``/
+   ``RET``) ends the chain — the breaker may *start* the next region,
+   so its effect lands before any same-pc redefinition could;
+2. ``may_except`` (loads, stores, divides) clears ``non_except`` —
+   *including* when that same instruction is the redefiner (a faulting
+   redefiner would be flushed, un-redefining the register);
+3. source reads of the register count as consumers;
+4. a destination write of the register closes the window.
+
+Windows with ``def_pc is None`` start at the virtual entry definition
+(the initial SRT mapping of each register), which the pipeline may also
+claim and release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..isa import ArchReg, Opcode, Program, RegClass, all_arch_regs
+
+
+@dataclass(frozen=True)
+class StaticWindow:
+    """One statically-analyzed def→redef chain of one register."""
+
+    reg: ArchReg
+    def_pc: Optional[int]   # None: virtual entry definition
+    redef_pc: Optional[int]  # None: chain ended without redefinition
+    consumers: int
+    non_branch: bool
+    non_except: bool
+    #: What ended or declassified the chain, for diagnostics
+    #: (e.g. "bne@12", "ld@7", "halt", "image-edge", "revisit").
+    breaker: Optional[str] = None
+
+    @property
+    def atomic(self) -> bool:
+        return self.closed and self.non_branch and self.non_except
+
+    @property
+    def closed(self) -> bool:
+        return self.redef_pc is not None
+
+    @property
+    def key(self) -> Tuple[RegClass, int, Optional[int], Optional[int]]:
+        """(physical file, SRT slot, def_pc, redef_pc) — the identity the
+        runtime oracle can observe through the probe layer."""
+        return (self.reg.cls.file, self.reg.srt_slot,
+                self.def_pc, self.redef_pc)
+
+
+@dataclass
+class StaticRegionReport:
+    """All windows of one program, plus the atomic subset by oracle key."""
+
+    program: Program
+    windows: List[StaticWindow] = field(default_factory=list)
+
+    def closed_windows(self) -> List[StaticWindow]:
+        return [w for w in self.windows if w.closed]
+
+    def atomic_windows(self) -> List[StaticWindow]:
+        return [w for w in self.windows if w.atomic]
+
+    def atomic_keys(self) -> FrozenSet[Tuple]:
+        return frozenset(w.key for w in self.atomic_windows())
+
+    def counts(self) -> Dict[str, int]:
+        closed = self.closed_windows()
+        return {
+            "windows": len(self.windows),
+            "closed": len(closed),
+            "non_branch": sum(1 for w in closed if w.non_branch),
+            "non_except": sum(1 for w in closed if w.non_except),
+            "atomic": sum(1 for w in closed if w.atomic),
+        }
+
+
+def _chain_successor(program: Program, pc: int) -> Optional[int]:
+    """The unique next pc of the renamed stream after a non-breaking,
+    non-redefining instruction — or ``None`` at the image edge."""
+    instr = program.instructions[pc]
+    if instr.opcode in (Opcode.JMP, Opcode.CALL):
+        target = instr.target
+        if target is None or not 0 <= target < len(program):
+            return None
+        return target
+    nxt = pc + 1
+    return nxt if nxt < len(program) else None
+
+
+def _walk_chain(program: Program, reg: ArchReg,
+                def_pc: Optional[int]) -> StaticWindow:
+    """Walk the deterministic chain of the definition of *reg* at *def_pc*."""
+    consumers = 0
+    non_branch = True
+    non_except = True
+    visited: Set[int] = set()
+    pc: Optional[int] = 0 if def_pc is None \
+        else _chain_successor(program, def_pc)
+    while pc is not None:
+        if pc in visited:
+            return StaticWindow(reg, def_pc, None, consumers,
+                                False, False, breaker="revisit")
+        visited.add(pc)
+        instr = program.instructions[pc]
+        if instr.breaks_region_control:
+            # Chain forks (or leaves through a register): window stays
+            # open past the breaker, so it can never be proven atomic.
+            return StaticWindow(reg, def_pc, None, consumers,
+                                False, False,
+                                breaker=f"{instr.opcode.value}@{pc}")
+        if instr.may_except:
+            non_except = False
+        consumers += sum(1 for src in instr.srcs if src == reg)
+        if reg in instr.dests:
+            return StaticWindow(reg, def_pc, pc, consumers,
+                                non_branch, non_except)
+        if instr.is_halt:
+            return StaticWindow(reg, def_pc, None, consumers,
+                                False, False, breaker="halt")
+        pc = _chain_successor(program, pc)
+    return StaticWindow(reg, def_pc, None, consumers,
+                        False, False, breaker="image-edge")
+
+
+def analyze_regions(program: Program) -> StaticRegionReport:
+    """Classify every definition's chain in *program*.
+
+    Mirrors :func:`repro.analysis.regions.classify_regions`: chains that
+    never close (no redefinition before a breaker / halt) are reported
+    with ``non_branch = non_except = False``, matching the dynamic
+    classifier's treatment of still-open chains at trace end.
+    """
+    report = StaticRegionReport(program=program)
+    for reg in all_arch_regs():
+        report.windows.append(_walk_chain(program, reg, None))
+    for pc, instr in enumerate(program.instructions):
+        for reg in instr.dests:
+            report.windows.append(_walk_chain(program, reg, pc))
+    return report

@@ -1,0 +1,71 @@
+"""Findings: the common currency of every lint pass.
+
+A :class:`Finding` pins one defect to one instruction: a stable rule ID
+(machine-matchable, used by inline suppressions and by tests), a
+severity, and a source location rendered as ``program:pc [label+off]``
+so a finding can be located in ``Program.disassemble()`` output.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..isa import Program
+
+
+class Severity(enum.Enum):
+    """Finding severity: errors make the program meaningless to run,
+    warnings flag code that is suspicious but executable."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, anchored to one instruction."""
+
+    rule: str
+    severity: Severity
+    program: str
+    pc: int
+    message: str
+    suppressed: bool = False
+
+    def location(self, prog: Optional[Program] = None) -> str:
+        """``program:pc [label+offset]`` using the nearest preceding label."""
+        where = f"{self.program}:{self.pc}"
+        if prog is not None:
+            anchor = _nearest_label(prog, self.pc)
+            if anchor is not None:
+                name, offset = anchor
+                where += f" [{name}+{offset}]" if offset else f" [{name}]"
+        return where
+
+    def render(self, prog: Optional[Program] = None) -> str:
+        tag = "suppressed " if self.suppressed else ""
+        line = f"{self.location(prog)}: {tag}{self.severity}: {self.rule}: {self.message}"
+        if prog is not None and prog.at(self.pc) is not None:
+            line += f"\n    {self.pc:5d}  {prog.at(self.pc).render()}"
+        return line
+
+
+def _nearest_label(prog: Program, pc: int):
+    for back in range(pc, -1, -1):
+        instr = prog.at(back)
+        if instr is not None and instr.label:
+            return instr.label, pc - back
+    return None
+
+
+def render_findings(findings: Iterable[Finding],
+                    prog: Optional[Program] = None) -> str:
+    """Multi-line rendering, errors first, then by PC."""
+    ordered: List[Finding] = sorted(
+        findings, key=lambda f: (f.severity is not Severity.ERROR, f.pc, f.rule))
+    return "\n".join(f.render(prog) for f in ordered)

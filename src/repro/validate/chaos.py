@@ -250,6 +250,16 @@ def run_chaos_cell(spec: ChaosSpec) -> CellResult:
         f"jitter={knobs['exec_jitter']} interrupts="
         f"{injected if injected else 'none'}")
 
+    # ATR-claiming schemes additionally get the static cross-check: every
+    # out-of-order release must match a statically-proven atomic window,
+    # under whatever flush/interrupt schedule the chaos faults produce.
+    oracle = None
+    if spec.scheme in ("atr", "combined"):
+        from ..staticcheck import AtrSoundnessProbe
+        oracle = AtrSoundnessProbe(trace.program,
+                                   strict_unclaimed=(spec.scheme == "atr"))
+        core.add_probe(oracle)
+
     error = None
     try:
         core.run()
@@ -262,6 +272,12 @@ def run_chaos_cell(spec: ChaosSpec) -> CellResult:
     except (InvariantViolation, DeadlockError, RenameError,
             AssertionError) as exc:
         error = f"{type(exc).__name__} under {perturbation}:\n{exc}"
+
+    if oracle is not None and oracle.violations:
+        detail = "\n".join(f"  {violation}" for violation in oracle.violations)
+        report = (f"static atomic-region oracle: {len(oracle.violations)} "
+                  f"unsound release(s) under {perturbation}:\n{detail}")
+        error = f"{error}\n{report}" if error else report
 
     stats = core.stats
     stats.cycles = core.cycle

@@ -305,7 +305,8 @@ def cam4(iterations: int = 32, seed: int = 19) -> Program:
         b.label(store)
         b.vst(v(2), r(3), 0)
 
-    return _streaming_kernel("527.cam4_r", body, iterations, seed)
+    return _streaming_kernel("527.cam4_r", body, iterations, seed,
+                             prologue=prologue)
 
 
 def imagick(iterations: int = 24, seed: int = 20) -> Program:
@@ -325,7 +326,8 @@ def imagick(iterations: int = 24, seed: int = 20) -> Program:
         b.vfma(v(4), v(4), v(9), v(3))       # v4 redefined (atomic)
         b.vst(v(4), r(3), 0)
 
-    return _streaming_kernel("538.imagick_r", body, iterations, seed)
+    return _streaming_kernel("538.imagick_r", body, iterations, seed,
+                             prologue=prologue)
 
 
 def nab(iterations: int = 24, seed: int = 21) -> Program:
@@ -380,4 +382,5 @@ def roms(iterations: int = 24, seed: int = 23) -> Program:
         b.vfma(v(3), v(2), v(0), v(1))
         b.vst(v(3), r(3), 0)
 
-    return _streaming_kernel("554.roms_r", body, iterations, seed, blocks=192)
+    return _streaming_kernel("554.roms_r", body, iterations, seed, blocks=192,
+                             prologue=prologue)

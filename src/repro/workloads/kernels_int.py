@@ -75,6 +75,7 @@ def perlbench(iterations: int = 64, seed: int = 1) -> Program:
     b.and_(r(6), r(3), r(5))         # new string offset from hash
     b.movi(r(2), _HEAP)
     b.add(r(2), r(2), r(6))
+    b.lint_ignore("df-dead-store")   # the redefinition below is the point
     b.movi(r(2), _HEAP)              # immediate redefinition (atomic)
     b.sub(r(1), r(1), r(4))
     b.test(r(1), r(1))
@@ -128,6 +129,7 @@ def gcc(iterations: int = 48, seed: int = 2) -> Program:
     b.sub(r(6), r(6), r(4))
     b.label("join")
     b.lea(r(2), r(2), 8)
+    b.lint_ignore("df-dead-store")   # IR cursor reset below redefines r2
     b.shl(r(8), r(6), 3)
     b.and_(r(8), r(8), r(10))
     b.movi(r(2), _HEAP)
@@ -415,6 +417,7 @@ def exchange2(iterations: int = 8, seed: int = 8) -> Program:
     b.sub(r(2), r(2), r(4))
     b.call("recurse")
     b.add(r(2), r(2), r(4))
+    b.lint_ignore("df-dead-store")   # epilogue reloads r2 from the spill
     b.label("base")
     b.add(r(8), r(8), r(4))
     b.lea(r(14), r(14), -16)

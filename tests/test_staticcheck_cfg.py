@@ -1,0 +1,215 @@
+"""CFG builder: blocks, edge kinds, call/return structure, reachability."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode, Program, ProgramBuilder, ireg
+from repro.staticcheck import build_cfg
+
+r = ireg
+
+
+def _block_starts(cfg):
+    return [b.start for b in cfg.blocks]
+
+
+def _edges(cfg):
+    out = set()
+    for block in cfg.blocks:
+        for succ, kind in block.succs:
+            out.add((block.start, cfg.blocks[succ].start, kind))
+    return out
+
+
+class TestBlocks:
+    def test_straight_line_is_one_block(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 1)
+        b.add(r(2), r(1), r(1))
+        b.halt()
+        cfg = build_cfg(b.build())
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].pcs() == range(0, 3)
+
+    def test_branch_splits_blocks(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 4)              # 0
+        b.label("loop")
+        b.sub(r(1), r(1), r(1))      # 1
+        b.test(r(1), r(1))           # 2
+        b.bne("loop")                # 3
+        b.halt()                     # 4
+        cfg = build_cfg(b.build())
+        assert _block_starts(cfg) == [0, 1, 4]
+        assert _edges(cfg) == {(0, 1, "fall"), (1, 1, "branch"),
+                               (1, 4, "fall")}
+
+    def test_every_pc_maps_to_its_block(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 2)
+        b.label("top")
+        b.sub(r(1), r(1), r(1))
+        b.test(r(1), r(1))
+        b.bne("top")
+        b.halt()
+        cfg = build_cfg(b.build())
+        for block in cfg.blocks:
+            for pc in block.pcs():
+                assert cfg.block_of(pc) is block
+
+
+class TestLoops:
+    def test_loop_with_multiple_back_edges(self):
+        """Two conditional branches both target the same loop head."""
+        b = ProgramBuilder()
+        b.movi(r(1), 8)              # 0
+        b.label("head")
+        b.sub(r(1), r(1), r(1))      # 1
+        b.test(r(1), r(1))           # 2
+        b.beq("head")                # 3  back edge 1
+        b.test(r(1), r(1))           # 4
+        b.bne("head")                # 5  back edge 2
+        b.halt()                     # 6
+        cfg = build_cfg(b.build())
+        head = cfg.block_of(1)
+        back = [(src, kind) for src, kind in
+                ((cfg.blocks[p].terminator_pc, kind)
+                 for p in range(len(cfg.blocks))
+                 for s, kind in cfg.blocks[p].succs if s == head.index)]
+        assert (3, "branch") in back and (5, "branch") in back
+        # The head has three predecessors: entry fall plus two back edges.
+        assert len(head.preds) == 3
+
+
+class TestCallRet:
+    def test_ret_returns_to_every_call_site(self):
+        b = ProgramBuilder()
+        b.call("fn")                 # 0
+        b.movi(r(1), 1)              # 1  return site A
+        b.call("fn")                 # 2
+        b.movi(r(2), 2)              # 3  return site B
+        b.halt()                     # 4
+        b.label("fn")
+        b.add(r(3), r(3), r(3))      # 5
+        b.ret()                      # 6
+        cfg = build_cfg(b.build())
+        assert cfg.entries == (5,)
+        assert cfg.rets_of[5] == frozenset({6})
+        ret_block = cfg.block_of(6)
+        sites = {cfg.blocks[s].start for s, kind in ret_block.succs
+                 if kind == "ret"}
+        assert sites == {1, 3}
+
+    def test_nested_call_is_stepped_over(self):
+        b = ProgramBuilder()
+        b.call("outer")              # 0
+        b.halt()                     # 1
+        b.label("outer")
+        b.call("inner")              # 2
+        b.ret()                      # 3   outer's ret, after inner returns
+        b.label("inner")
+        b.movi(r(1), 7)              # 4
+        b.ret()                      # 5
+        cfg = build_cfg(b.build())
+        assert cfg.rets_of[2] == frozenset({3})
+        assert cfg.rets_of[4] == frozenset({5})
+
+    def test_recursion_is_handled(self):
+        b = ProgramBuilder()
+        b.call("rec")                # 0
+        b.halt()                     # 1
+        b.label("rec")
+        b.test(r(1), r(1))           # 2
+        b.beq("out")                 # 3
+        b.call("rec")                # 4
+        b.label("out")
+        b.ret()                      # 5
+        cfg = build_cfg(b.build())
+        assert cfg.rets_of[2] == frozenset({5})
+        ret_block = cfg.block_of(5)
+        sites = {cfg.blocks[s].start for s, kind in ret_block.succs
+                 if kind == "ret"}
+        assert sites == {1, 5}
+
+    def test_top_level_ret_detected(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 1)              # 0
+        b.ret()                      # 1: no call on any path
+        cfg = build_cfg(b.build())
+        assert cfg.top_level_rets() == [1]
+
+    def test_balanced_ret_is_not_top_level(self):
+        b = ProgramBuilder()
+        b.call("fn")
+        b.halt()
+        b.label("fn")
+        b.ret()
+        cfg = build_cfg(b.build())
+        assert cfg.top_level_rets() == []
+
+
+class TestIndirect:
+    def test_jr_targets_labels_but_not_call_entries(self):
+        b = ProgramBuilder()
+        b.jr(r(2))                   # 0
+        b.label("case0")
+        b.movi(r(1), 0)              # 1
+        b.halt()                     # 2
+        b.label("case1")
+        b.movi(r(1), 1)              # 3
+        b.halt()                     # 4
+        b.label("fn")
+        b.ret()                      # 5 (reached by call below, not jr)
+        b.label("main2")
+        b.call("fn")                 # 6
+        b.halt()                     # 7
+        cfg = build_cfg(b.build())
+        jr_block = cfg.block_of(0)
+        targets = {cfg.blocks[s].start for s, kind in jr_block.succs
+                   if kind == "indirect"}
+        assert 1 in targets and 3 in targets and 6 in targets
+        assert 5 not in targets  # call entries are not jump-table targets
+
+
+class TestDefects:
+    def test_bad_target_recorded(self):
+        prog = Program(instructions=(
+            Instruction(Opcode.JMP, target=99),
+            Instruction(Opcode.HALT),
+        ))
+        cfg = build_cfg(prog)
+        assert cfg.bad_targets == [0]
+
+    def test_fallthrough_off_end_recorded(self):
+        prog = Program(instructions=(
+            Instruction(Opcode.MOVI, dests=(r(1),), imm=3),
+        ))
+        cfg = build_cfg(prog)
+        assert cfg.falls_off_end == [0]
+
+    def test_unreachable_block(self):
+        b = ProgramBuilder()
+        b.jmp("end")                 # 0
+        b.movi(r(1), 1)              # 1: unreachable
+        b.label("end")
+        b.halt()                     # 2
+        cfg = build_cfg(b.build())
+        reachable = cfg.reachable()
+        assert cfg.block_of(1).index not in reachable
+        assert cfg.block_of(0).index in reachable
+        assert cfg.block_of(2).index in reachable
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", ["505.mcf_r", "502.gcc_r",
+                                      "548.exchange2_r", "503.bwaves_r"])
+    def test_kernel_cfgs_build(self, name):
+        from repro.workloads import builder_for
+        program = builder_for(name)(3)
+        cfg = build_cfg(program)
+        assert cfg.blocks
+        # Every non-final block pc belongs to exactly one block.
+        assert len(cfg.block_index) == len(program)
+        # Edges are symmetric: succ lists match pred lists.
+        for block in cfg.blocks:
+            for succ, _kind in block.succs:
+                assert block.index in cfg.blocks[succ].preds

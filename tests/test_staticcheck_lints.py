@@ -1,0 +1,225 @@
+"""Lint rules, inline suppression, builder validation, and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.isa import (
+    Instruction,
+    Opcode,
+    Program,
+    ProgramBuilder,
+    ProgramValidationError,
+    ireg,
+)
+from repro.staticcheck import RULES, Severity, lint_benchmark, lint_program
+from repro.staticcheck.lints import suppressed_rules
+from repro.workloads import ALL_BENCHMARKS
+
+r = ireg
+
+
+def _rules_fired(report):
+    return {f.rule for f in report.active}
+
+
+class TestRules:
+    def test_bad_target(self):
+        prog = Program(instructions=(
+            Instruction(Opcode.JMP, target=99),
+            Instruction(Opcode.HALT),
+        ))
+        report = lint_program(prog)
+        assert "cfg-bad-target" in _rules_fired(report)
+        assert not report.ok and report.errors
+
+    def test_fallthrough_end(self):
+        prog = Program(instructions=(
+            Instruction(Opcode.MOVI, dests=(r(1),), imm=3),
+        ))
+        report = lint_program(prog)
+        assert "cfg-fallthrough-end" in _rules_fired(report)
+        assert report.errors
+
+    def test_call_ret_imbalance(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 1)
+        b.ret()                      # no CALL on any path from entry
+        report = lint_program(b.build())
+        findings = report.by_rule("cfg-call-ret-imbalance")
+        assert findings and findings[0].pc == 1
+        assert report.errors
+
+    def test_balanced_call_is_clean(self):
+        b = ProgramBuilder()
+        b.call("fn")
+        b.halt()
+        b.label("fn")
+        b.movi(r(1), 1)
+        b.ret()
+        report = lint_program(b.build())
+        assert not report.by_rule("cfg-call-ret-imbalance")
+
+    def test_unreachable(self):
+        b = ProgramBuilder()
+        b.jmp("end")
+        b.movi(r(1), 1)              # dead
+        b.label("end")
+        b.halt()
+        report = lint_program(b.build())
+        assert "cfg-unreachable" in _rules_fired(report)
+        # Warning severity: the report is not ok, but has no errors.
+        assert not report.ok and not report.errors
+
+    def test_trailing_generated_halt_is_exempt(self):
+        """The builder's auto-appended terminator HALT after a RET has no
+        source line to suppress on; it must not fire cfg-unreachable."""
+        b = ProgramBuilder()
+        b.call("fn")
+        b.halt()
+        b.label("fn")
+        b.ret()                      # build() appends an unreachable HALT
+        report = lint_program(b.build())
+        assert not report.by_rule("cfg-unreachable")
+
+    def test_undef_read(self):
+        b = ProgramBuilder()
+        b.test(r(4), r(4))
+        b.beq("skip")
+        b.movi(r(3), 1)
+        b.label("skip")
+        b.add(r(5), r(3), r(3))      # r3 undefined when the branch is taken
+        b.halt()
+        report = lint_program(b.build())
+        pcs = {f.pc for f in report.by_rule("df-undef-read")}
+        assert 3 in pcs
+
+    def test_dead_store(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 1)              # dead: unconditionally redefined
+        b.movi(r(1), 2)
+        b.halt()
+        report = lint_program(b.build())
+        assert [f.pc for f in report.by_rule("df-dead-store")] == [0]
+
+    def test_every_rule_has_severity_and_description(self):
+        for rule, (severity, description) in RULES.items():
+            assert isinstance(severity, Severity)
+            assert description
+
+
+class TestSuppression:
+    def test_marker_parsing(self):
+        assert suppressed_rules("lint: ignore[df-dead-store]") == (
+            "df-dead-store",)
+        assert suppressed_rules(
+            "setup  lint: ignore[df-dead-store, cfg-unreachable]") == (
+            "df-dead-store", "cfg-unreachable")
+        assert suppressed_rules("") == ()
+        assert suppressed_rules(None) == ()
+
+    def test_lint_ignore_suppresses_finding(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 1)
+        b.lint_ignore("df-dead-store")
+        b.movi(r(1), 2)
+        b.halt()
+        report = lint_program(b.build())
+        assert report.ok
+        suppressed = report.suppressed
+        assert len(suppressed) == 1 and suppressed[0].rule == "df-dead-store"
+        assert suppressed[0].pc == 0
+
+    def test_suppression_is_rule_specific(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 1)
+        b.lint_ignore("cfg-unreachable")  # wrong rule: finding stays active
+        b.movi(r(1), 2)
+        b.halt()
+        report = lint_program(b.build())
+        assert not report.ok
+        assert [f.rule for f in report.active] == ["df-dead-store"]
+
+    def test_lint_ignore_requires_instruction_and_rules(self):
+        b = ProgramBuilder()
+        with pytest.raises(ValueError):
+            b.lint_ignore("df-dead-store")  # nothing emitted yet
+        b.movi(r(1), 1)
+        with pytest.raises(ValueError):
+            b.lint_ignore()
+
+
+class TestBuilderValidation:
+    def test_undefined_label_raises(self):
+        b = ProgramBuilder()
+        b.jmp("nowhere")
+        with pytest.raises(ProgramValidationError, match="nowhere"):
+            b.build()
+
+    def test_out_of_range_numeric_target_raises(self):
+        b = ProgramBuilder()
+        b.jmp(99)
+        with pytest.raises(ProgramValidationError, match="99"):
+            b.build()
+
+    def test_auto_halt_rules_out_fallthrough(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 3)
+        program = b.build()
+        assert program.instructions[-1].is_halt
+        assert lint_program(program).ok
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_kernel_is_lint_clean(self, name):
+        report = lint_benchmark(name)
+        assert report.ok, report.render()
+
+    def test_known_suppressions_are_exercised(self):
+        """The three in-tree lint_ignore markers must each still suppress
+        a live finding (a stale marker means the code changed under it)."""
+        suppressed = {name: [(f.rule, f.pc) for f in
+                             lint_benchmark(name).suppressed]
+                      for name in ("500.perlbench_r", "502.gcc_r",
+                                   "548.exchange2_r")}
+        for name, found in suppressed.items():
+            assert found, f"{name}: lint_ignore marker no longer suppresses"
+            assert all(rule == "df-dead-store" for rule, _pc in found)
+
+
+class TestCli:
+    def test_lint_single_benchmark(self, capsys):
+        assert main(["lint", "mcf"]) == 0
+        out = capsys.readouterr().out
+        assert "505.mcf_r" in out and "clean" in out
+
+    def test_lint_all(self, capsys):
+        assert main(["lint", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("clean") == len(ALL_BENCHMARKS)
+
+    def test_lint_without_benchmarks_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_lint_fails_on_seeded_violation(self, capsys, monkeypatch):
+        """A kernel with an active finding must make the CLI exit 1."""
+        import repro.workloads as workloads
+
+        def bad_builder(iterations=1):
+            b = ProgramBuilder("seeded")
+            b.movi(r(1), 1)
+            b.movi(r(1), 2)          # unsuppressed dead store
+            b.halt()
+            return b.build()
+
+        monkeypatch.setattr(workloads, "resolve", lambda name: name)
+        monkeypatch.setattr(workloads, "builder_for",
+                            lambda name: bad_builder)
+        assert main(["lint", "seeded"]) == 1
+        out = capsys.readouterr().out
+        assert "df-dead-store" in out
+
+    def test_verbose_shows_suppressed(self, capsys):
+        assert main(["lint", "perlbench", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed" in out

@@ -1,0 +1,115 @@
+"""Dynamic-vs-static ATR soundness oracle (probe-based, event layer only)."""
+
+import pytest
+
+from repro.frontend import run_program
+from repro.isa import ProgramBuilder, ireg
+from repro.pipeline import Core
+from repro.pipeline.config import fast_test_config
+from repro.staticcheck import (
+    AtrSoundnessProbe,
+    analyze_regions,
+    check_benchmark,
+    check_trace,
+)
+from repro.workloads import build_trace
+
+r = ireg
+
+#: A spread of int/fp kernels with known ATR activity at short traces.
+_KERNELS = ["505.mcf_r", "557.xz_r", "531.deepsjeng_r", "503.bwaves_r"]
+
+
+def _redef_heavy_trace():
+    """Straight-line redefinition chains: every window is atomic."""
+    b = ProgramBuilder("redef-heavy")
+    b.movi(r(1), 1)
+    for i in range(40):
+        b.add(r(2), r(1), r(1))
+        b.movi(r(1), i)
+    b.halt()
+    return run_program(b.build())
+
+
+class TestSoundKernels:
+    @pytest.mark.parametrize("name", _KERNELS)
+    def test_no_unsound_release(self, name):
+        for report in check_benchmark(name, instructions=700):
+            assert report.ok, report.render()
+
+    @pytest.mark.parametrize("name", _KERNELS)
+    def test_pure_atr_claims_every_release(self, name):
+        """Under the pure atr scheme there is no nonspec path: every early
+        release must carry a claim (strict_unclaimed found none)."""
+        report, = check_benchmark(name, instructions=700, schemes=("atr",))
+        assert report.releases_seen > 0
+        assert report.atr_releases == report.releases_seen
+
+    def test_straight_line_program_is_sound(self):
+        trace = _redef_heavy_trace()
+        report = check_trace(trace, scheme="atr")
+        assert report.ok
+        assert report.releases_seen > 0
+        # Every def->redef window in this program is statically atomic.
+        static = analyze_regions(trace.program)
+        counts = static.counts()
+        assert counts["atomic"] == counts["closed"] > 0
+
+
+class TestAdversarial:
+    def test_broken_breaker_marking_is_caught(self):
+        """Disable the scheme's bulk no-early-release marking at region
+        breakers: releases then cross branch boundaries, and the oracle
+        must flag them as lacking a static atomic proof."""
+        trace = build_trace("505.mcf_r", 800)
+        config = fast_test_config(rf_size=48, scheme="atr")
+        core = Core(config, trace)
+        probe = AtrSoundnessProbe(trace.program, strict_unclaimed=True)
+        core.add_probe(probe)
+        core.scheme._bulk_mark = lambda: None
+        try:
+            core.run()
+        except Exception:
+            pass  # the corruption usually crashes the run; the oracle
+            #      verdict is what this test is about
+        assert probe.violations
+        assert any("not a statically-proven atomic region" in v.reason
+                   for v in probe.violations)
+
+    def test_violation_rendering(self):
+        trace = build_trace("505.mcf_r", 400)
+        config = fast_test_config(rf_size=48, scheme="atr")
+        core = Core(config, trace)
+        probe = AtrSoundnessProbe(trace.program, strict_unclaimed=True)
+        core.add_probe(probe)
+        core.scheme._bulk_mark = lambda: None
+        try:
+            core.run()
+        except Exception:
+            pass
+        assert probe.violations
+        text = str(probe.violations[0])
+        assert "unsound ATR release" in text
+        assert "violations" in probe.summary()
+
+
+class TestReportApi:
+    def test_report_renders_ok(self):
+        report = check_trace(_redef_heavy_trace(), scheme="combined")
+        assert "OK" in report.render()
+
+    def test_rejects_non_atr_scheme(self):
+        with pytest.raises(ValueError, match="no ATR claims"):
+            check_trace(_redef_heavy_trace(), scheme="baseline")
+
+
+class TestChaosIntegration:
+    def test_chaos_cell_attaches_oracle(self):
+        """ATR chaos cells run with the soundness probe; a healthy scheme
+        produces no oracle error."""
+        from repro.validate.chaos import ChaosSpec, run_chaos_cell
+
+        spec = ChaosSpec(benchmark="505.mcf_r", scheme="atr", rf_size=48,
+                         instructions=300, seed=7, intensity="low")
+        result = run_chaos_cell(spec)
+        assert result.error is None

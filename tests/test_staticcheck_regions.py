@@ -1,0 +1,295 @@
+"""Dataflow queries and the static atomic-region pass.
+
+The property test at the bottom is the branch-free exactness leg of the
+soundness oracle: on straight-line programs the static chain walk must
+reproduce the dynamic ``classify_regions`` verdict window for window.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import FLAGS, ProgramBuilder, ireg
+from repro.staticcheck import (
+    analyze_dataflow,
+    analyze_regions,
+    branch_free_counts_match,
+    compare_branch_free,
+)
+
+r = ireg
+
+
+def _window(report, reg, def_pc):
+    hits = [w for w in report.windows if w.reg == reg and w.def_pc == def_pc]
+    assert len(hits) == 1, hits
+    return hits[0]
+
+
+class TestDataflow:
+    def test_straight_line_def_use(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 5)              # 0
+        b.add(r(2), r(1), r(1))      # 1
+        b.movi(r(1), 9)              # 2
+        b.halt()
+        df = analyze_dataflow(b.build())
+        sites = df.defs_reaching(2, r(1))
+        assert [s.pc for s in sites] == [0]
+        assert df.maybe_undefined_reads(1) == []
+
+    def test_undefined_read_on_one_path(self):
+        b = ProgramBuilder()
+        b.test(r(4), r(4))           # 0 (r4 undef read here too)
+        b.beq("skip")                # 1
+        b.movi(r(3), 1)              # 2
+        b.label("skip")
+        b.add(r(5), r(3), r(3))      # 3: r3 undefined when branch taken
+        b.halt()
+        df = analyze_dataflow(b.build())
+        assert r(3) in df.maybe_undefined_reads(3)
+        # Both the entry def and pc 2 reach the join.
+        assert {s.pc for s in df.defs_reaching(3, r(3))} == {None, 2}
+
+    def test_dead_store_requires_redef_on_every_path(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 1)              # 0: dead — both paths redefine r1
+        b.test(r(2), r(2))           # 1
+        b.beq("other")               # 2
+        b.movi(r(1), 2)              # 3
+        b.jmp("end")                 # 4
+        b.label("other")
+        b.movi(r(1), 3)              # 5
+        b.label("end")
+        b.add(r(4), r(1), r(1))      # 6
+        b.halt()
+        df = analyze_dataflow(b.build())
+        dead = df.dead_stores()
+        assert (0, r(1)) in dead
+        assert (3, r(1)) not in dead and (5, r(1)) not in dead
+
+    def test_final_state_counts_as_use(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 7)              # never read, but observable at halt
+        b.halt()
+        df = analyze_dataflow(b.build())
+        assert df.dead_stores() == []
+        assert r(1) in df.live_after(0)
+
+    def test_loop_carried_window(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 4)              # 0
+        b.label("head")
+        b.sub(r(1), r(1), r(1))      # 1: redefines r1; def 1 reaches itself
+        b.test(r(1), r(1))           # 2
+        b.bne("head")                # 3
+        b.halt()
+        df = analyze_dataflow(b.build())
+        windows = df.windows(r(1))
+        # The virtual entry def reaches the first write, def 0 reaches the
+        # loop body, and the body's def reaches itself via the back edge.
+        assert {(w.def_pc, w.redef_pc) for w in windows} == {
+            (None, 0), (0, 1), (1, 1)}
+
+
+class TestStaticRegions:
+    def test_straight_line_atomic(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 5)              # 0
+        b.add(r(2), r(1), r(1))      # 1: consumer x2
+        b.movi(r(1), 9)              # 2: redefines -> window closes
+        b.halt()
+        w = _window(analyze_regions(b.build()), r(1), 0)
+        assert w.redef_pc == 2 and w.consumers == 2
+        assert w.atomic
+
+    def test_branch_breaks_region(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 5)              # 0
+        b.test(r(2), r(2))           # 1
+        b.beq(3)                     # 2: breaker between def and redef
+        b.movi(r(1), 9)              # 3
+        b.halt()
+        w = _window(analyze_regions(b.build()), r(1), 0)
+        assert not w.closed and not w.atomic
+        assert w.breaker == "beq@2"
+
+    def test_excepting_instruction_declassifies(self):
+        b = ProgramBuilder()
+        b.movi(r(2), 64)             # 0
+        b.movi(r(1), 5)              # 1
+        b.ld(r(3), r(2))             # 2: may fault
+        b.movi(r(1), 9)              # 3
+        b.halt()
+        w = _window(analyze_regions(b.build()), r(1), 1)
+        assert w.closed and w.non_branch and not w.non_except
+        assert not w.atomic
+
+    def test_excepting_redefiner_declassifies_itself(self):
+        """A faulting redefiner would be flushed, un-redefining the
+        register — the dynamic classifier clears non_except before the
+        dest closes the chain, and the static walk must match."""
+        b = ProgramBuilder()
+        b.movi(r(2), 64)             # 0
+        b.movi(r(1), 5)              # 1
+        b.ld(r(1), r(2))             # 2: redefiner is itself excepting
+        b.halt()
+        w = _window(analyze_regions(b.build()), r(1), 1)
+        assert w.closed and not w.non_except and not w.atomic
+
+    def test_jmp_does_not_break(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 5)              # 0
+        b.jmp("next")                # 1: never mispredicts -> no breaker
+        b.halt()                     # 2 (dead)
+        b.label("next")
+        b.movi(r(1), 9)              # 3
+        b.halt()
+        w = _window(analyze_regions(b.build()), r(1), 0)
+        assert w.redef_pc == 3 and w.atomic
+
+    def test_redef_in_callee_is_atomic(self):
+        """CALL follows the decode-provided target without forking the
+        stream, so a window closed inside the callee stays atomic."""
+        b = ProgramBuilder()
+        b.movi(r(1), 5)              # 0
+        b.call("fn")                 # 1
+        b.halt()                     # 2
+        b.label("fn")
+        b.movi(r(1), 9)              # 3: redefines inside the callee
+        b.ret()                      # 4
+        w = _window(analyze_regions(b.build()), r(1), 0)
+        assert w.redef_pc == 3 and w.atomic
+
+    def test_region_spanning_call_and_ret_is_non_atomic(self):
+        """Def before CALL, redef after the callee returns: the RET is a
+        region breaker, so the window must not be provable atomic."""
+        b = ProgramBuilder()
+        b.movi(r(1), 5)              # 0
+        b.call("fn")                 # 1
+        b.movi(r(1), 9)              # 2: redef back in the caller
+        b.halt()                     # 3
+        b.label("fn")
+        b.add(r(2), r(2), r(2))      # 4
+        b.ret()                      # 5
+        w = _window(analyze_regions(b.build()), r(1), 0)
+        assert not w.closed and not w.atomic
+        assert w.breaker == "ret@5"
+
+    def test_entry_window_from_virtual_def(self):
+        b = ProgramBuilder()
+        b.add(r(2), r(1), r(1))      # 0: reads the initial mapping of r1
+        b.movi(r(1), 9)              # 1
+        b.halt()
+        w = _window(analyze_regions(b.build()), r(1), None)
+        assert w.redef_pc == 1 and w.consumers == 2 and w.atomic
+
+    def test_jmp_loop_without_redef_never_closes(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 5)              # 0
+        b.label("spin")
+        b.add(r(2), r(2), r(2))      # 1
+        b.jmp("spin")                # 2: revisit -> chain cannot close
+        w = _window(analyze_regions(b.build()), r(1), 0)
+        assert not w.closed and w.breaker == "revisit"
+
+    def test_flags_windows_are_tracked(self):
+        b = ProgramBuilder()
+        b.test(r(1), r(1))           # 0: defines FLAGS
+        b.cmp(r(1), r(2))            # 1: redefines FLAGS
+        b.halt()
+        w = _window(analyze_regions(b.build()), FLAGS, 0)
+        assert w.redef_pc == 1 and w.atomic
+
+
+class TestBranchFreeExactness:
+    def test_hand_built_program_matches(self):
+        b = ProgramBuilder()
+        b.movi(r(1), 12)             # addresses
+        b.movi(r(2), 7)
+        b.st(r(2), r(1))
+        b.ld(r(3), r(1))
+        b.div(r(4), r(3), r(2))
+        b.add(r(2), r(3), r(4))
+        b.jmp("tail")
+        b.movi(r(5), 99)             # dead code: static-only window, dropped
+        b.label("tail")
+        b.mov(r(3), r(2))
+        b.halt()
+        program = b.build()
+        sides = compare_branch_free(program)
+        assert sides["static"] == sides["dynamic"]
+        assert sides["dynamic"]  # non-vacuous: some windows closed
+
+    def test_rejects_branches(self):
+        b = ProgramBuilder()
+        b.test(r(1), r(1))
+        b.beq(2)
+        b.halt()
+        try:
+            compare_branch_free(b.build())
+        except ValueError as exc:
+            assert "region-breaking" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+# -- property test: static never disagrees with dynamic on straight-line --
+
+_DEST = st.integers(min_value=1, max_value=6)
+_SRC = st.integers(min_value=1, max_value=6)
+
+_OP = st.one_of(
+    st.tuples(st.just("add"), _DEST, _SRC, _SRC),
+    st.tuples(st.just("sub"), _DEST, _SRC, _SRC),
+    st.tuples(st.just("mul"), _DEST, _SRC, _SRC),
+    st.tuples(st.just("mov"), _DEST, _SRC, _SRC),
+    st.tuples(st.just("movi"), _DEST, st.integers(0, 100), _SRC),
+    st.tuples(st.just("div"), _DEST, _SRC, _SRC),   # divisor pinned to r7
+    st.tuples(st.just("ld"), _DEST, _SRC, _SRC),    # base pinned to r8
+    st.tuples(st.just("st"), _DEST, _SRC, _SRC),
+)
+
+
+def _build_straight_line(ops):
+    b = ProgramBuilder("prop")
+    for i in range(1, 7):
+        b.movi(r(i), i)
+    b.movi(r(7), 3)      # nonzero divisor, never redefined
+    b.movi(r(8), 64)     # valid memory base, never redefined
+    for kind, dest, a, c in ops:
+        if kind == "add":
+            b.add(r(dest), r(a), r(c))
+        elif kind == "sub":
+            b.sub(r(dest), r(a), r(c))
+        elif kind == "mul":
+            b.mul(r(dest), r(a), r(c))
+        elif kind == "mov":
+            b.mov(r(dest), r(a))
+        elif kind == "movi":
+            b.movi(r(dest), a)
+        elif kind == "div":
+            b.div(r(dest), r(a), r(7))
+        elif kind == "ld":
+            b.ld(r(dest), r(8), disp=8 * a)
+        elif kind == "st":
+            b.st(r(a), r(8), disp=8 * dest)
+    b.halt()
+    return b.build()
+
+
+class TestStraightLineProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_OP, min_size=1, max_size=40))
+    def test_static_matches_dynamic_exactly(self, ops):
+        """On any straight-line program the static pass is exact: same
+        windows, same consumer counts, same classification — so a static
+        ``atomic`` verdict is never weaker (or stronger) than what
+        ``classify_regions`` observes on the trace."""
+        program = _build_straight_line(ops)
+        sides = compare_branch_free(program)
+        assert sides["static"] == sides["dynamic"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(_OP, min_size=1, max_size=25))
+    def test_counts_helper_agrees(self, ops):
+        assert branch_free_counts_match(_build_straight_line(ops))
