@@ -57,6 +57,16 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["baseline", "nonspec_er", "atr", "combined"])
     run.add_argument("-r", "--rf-size", type=int, default=64)
     run.add_argument("-d", "--redefine-delay", type=int, default=0)
+    run.add_argument("--tier", default="detailed",
+                     choices=["detailed", "tiered"],
+                     help="simulation tier: full-trace detailed (default) "
+                          "or fast-forward + SimPoint-weighted windows")
+    run.add_argument("--interval", type=_positive_int, default=2_000,
+                     help="SimPoint interval for --tier tiered "
+                          "(default 2000)")
+    run.add_argument("--windows", type=_positive_int, default=6,
+                     help="max detailed windows for --tier tiered "
+                          "(default 6)")
 
     compare = sub.add_parser("compare", help="all four schemes side by side")
     _add_common(compare)
@@ -128,6 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timed repeats per cell, best taken (default 3)")
     bench.add_argument("-o", "--output", default="BENCH_core.json",
                        help="result JSON path ('' to skip writing)")
+    bench.add_argument("--history", default="BENCH_history.json",
+                       help="trajectory JSON appended to on each run "
+                            "('' to skip)")
+    bench.add_argument("--profile", action="store_true",
+                       help="re-run each cell under cProfile and print the "
+                            "top-25 cumulative hotspots")
+    bench.add_argument("--ab", action="store_true",
+                       help="interleaved A/B regression gate: spin-loop vs "
+                            "skip-ahead vs tiered; non-zero exit on "
+                            "regression")
     bench.add_argument("-v", "--verbose", action="store_true")
 
     cache = sub.add_parser("cache", help="manage the persistent result store")
@@ -168,11 +188,28 @@ def _cmd_run(args) -> int:
     trace = build_trace(name, args.instructions)
     config = golden_cove_config(rf_size=args.rf_size, scheme=args.scheme,
                                 redefine_delay=args.redefine_delay)
-    core = Core(config, trace)
-    stats = core.run()
-    s = core.scheme.stats
-    print(f"{name}: {stats.committed} instructions in {stats.cycles} cycles "
-          f"(IPC {stats.ipc:.3f})")
+    if args.tier == "tiered":
+        from .tiered import run_tiered
+
+        stats, s, tier_info = run_tiered(config, trace,
+                                         interval=args.interval,
+                                         max_windows=args.windows)
+        windows = tier_info["windows"]
+        print(f"{name}: ~{stats.committed} instructions in ~{stats.cycles} "
+              f"cycles (IPC {stats.ipc:.3f}, tiered estimate)")
+        print(f"  tiered: {len(windows)} windows, "
+              f"{tier_info['detailed_instructions']} detailed instructions "
+              f"of {tier_info['represented_instructions']} represented, "
+              f"warmup to {tier_info['warmup_instructions']}")
+        for w in windows:
+            print(f"    window @{w['start']:>7} len {w['length']:>6} "
+                  f"weight {w['weight']:.3f}  IPC {w['ipc']:.3f}")
+    else:
+        core = Core(config, trace)
+        stats = core.run()
+        s = core.scheme.stats
+        print(f"{name}: {stats.committed} instructions in {stats.cycles} "
+              f"cycles (IPC {stats.ipc:.3f})")
     print(f"  scheme {args.scheme} @ {args.rf_size} regs, "
           f"redefine delay {args.redefine_delay}")
     print(f"  releases: commit {s.commit_frees}, atr {s.atr_frees}, "
@@ -471,6 +508,9 @@ def _cmd_bench(args) -> int:
         rf_size=args.rf_size,
         repeats=args.repeats,
         verbose=args.verbose,
+        profile=args.profile,
+        ab=args.ab,
+        history=args.history or None,
     )
 
 

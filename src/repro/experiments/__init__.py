@@ -8,9 +8,11 @@ measured-vs-paper comparison lines.
 from . import expectations, fig01, fig04, fig06, fig10, fig11, fig12, fig13, fig14, fig15, sec44
 from .report import compare_line, format_table, pct, shorten
 from .runner import (
+    DETAILED,
     CellResult,
     CellSpec,
     RegionSpec,
+    TierPolicy,
     cell_spec,
     clear_result_cache,
     default_fp_suite,
@@ -34,6 +36,7 @@ ALL_FIGURES = {
 
 __all__ = [
     "run_cell", "CellResult", "CellSpec", "RegionSpec", "cell_spec",
+    "TierPolicy", "DETAILED",
     "region_report", "clear_result_cache", "prime_cells", "prime_regions",
     "geomean", "mean", "speedup", "suite_speedup",
     "default_instructions", "default_int_suite", "default_fp_suite",

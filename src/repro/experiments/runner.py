@@ -22,9 +22,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis import RegionReport
 from ..harness import (
+    DETAILED,
     CellResult,
     CellSpec,
     RegionSpec,
+    TierPolicy,
     default_store,
     simulate_cell,
     sweep,
@@ -33,7 +35,7 @@ from ..pipeline import CoreConfig
 from ..workloads import SPEC_FP, SPEC_INT
 
 __all__ = [
-    "CellResult", "CellSpec", "RegionSpec",
+    "CellResult", "CellSpec", "RegionSpec", "TierPolicy", "DETAILED",
     "run_cell", "region_report", "prime_cells", "prime_regions",
     "clear_result_cache",
     "geomean", "mean", "speedup", "suite_speedup",
@@ -64,6 +66,7 @@ def cell_spec(
     instructions: Optional[int] = None,
     redefine_delay: int = 0,
     record_register_events: bool = False,
+    tier: Optional[TierPolicy] = None,
 ) -> CellSpec:
     """Build the canonical spec, defaulting the instruction count."""
     return CellSpec(
@@ -73,6 +76,7 @@ def cell_spec(
         instructions=instructions or default_instructions(),
         redefine_delay=redefine_delay,
         record_register_events=record_register_events,
+        tier=tier or DETAILED,
     )
 
 
@@ -85,14 +89,17 @@ def run_cell(
     record_register_events: bool = False,
     config: Optional[CoreConfig] = None,
     use_cache: bool = True,
+    tier: Optional[TierPolicy] = None,
 ) -> CellResult:
     """Simulate one benchmark under one configuration.
 
     With a custom *config* the cell is computed directly and never cached
-    (the config is not part of the spec identity).
+    (the config is not part of the spec identity).  *tier* selects the
+    simulation tier (default: full-trace detailed); tiered and detailed
+    results of the same cell cache under distinct spec identities.
     """
     spec = cell_spec(benchmark, rf_size, scheme, instructions,
-                     redefine_delay, record_register_events)
+                     redefine_delay, record_register_events, tier)
     if config is not None:
         return simulate_cell(spec, config=config)
     if use_cache and spec in _cell_cache:

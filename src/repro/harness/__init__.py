@@ -36,9 +36,11 @@ from .serialize import (
     encode_result,
 )
 from .spec import (
+    DETAILED,
     CellSpec,
     RegionSpec,
     Spec,
+    TierPolicy,
     register_spec_type,
     spec_digest,
     spec_from_dict,
@@ -54,8 +56,8 @@ from .sweep import (
 )
 
 __all__ = [
-    "CellSpec", "RegionSpec", "Spec", "spec_digest", "spec_to_dict",
-    "spec_from_dict", "register_spec_type",
+    "CellSpec", "RegionSpec", "Spec", "TierPolicy", "DETAILED",
+    "spec_digest", "spec_to_dict", "spec_from_dict", "register_spec_type",
     "CellResult", "execute_spec", "execute_spec_diagnose", "simulate_cell",
     "analyze_regions",
     "encode_result", "decode_result", "encode_cell_result", "decode_cell_result",

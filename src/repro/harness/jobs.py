@@ -34,6 +34,9 @@ class CellResult:
     #: Structured validation failure (invariant violation, golden-model
     #: divergence, …) rendered as text — ``None`` for a clean run.
     error: Optional[str] = None
+    #: Window/warmup description of a tiered run (``None`` for detailed
+    #: runs); see :func:`repro.tiered.run_tiered`.
+    tier_info: Optional[dict] = None
 
     @property
     def ipc(self) -> float:
@@ -60,6 +63,25 @@ def simulate_cell(spec: CellSpec, config: Optional[CoreConfig] = None,
     if check_invariants:
         config = replace(config, check_invariants=True)
     trace = build_trace(spec.benchmark, spec.instructions)
+    tier = getattr(spec, "tier", None)
+    if tier is not None and tier.mode == "tiered":
+        if spec.record_register_events:
+            raise ValueError(
+                "record_register_events requires detailed mode: the event "
+                "log is a per-committed-register measurement, not a rate")
+        from ..tiered import run_tiered  # lazy: tiered layers on pipeline
+        stats, scheme_stats, tier_info = run_tiered(
+            config, trace, interval=tier.interval,
+            max_windows=tier.max_windows, seed=tier.seed)
+        return CellResult(
+            benchmark=spec.benchmark,
+            scheme=spec.scheme,
+            rf_size=spec.rf_size,
+            instructions=spec.instructions,
+            stats=stats,
+            scheme_stats=scheme_stats,
+            tier_info=tier_info,
+        )
     core = Core(config, trace)
     stats = core.run()
     return CellResult(

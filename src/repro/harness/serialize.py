@@ -35,6 +35,7 @@ def encode_cell_result(result: CellResult) -> Dict:
             else result.region_report.to_dict()
         ),
         "error": result.error,
+        "tier_info": result.tier_info,
     }
 
 
@@ -54,8 +55,10 @@ def decode_cell_result(data: Dict) -> CellResult:
             None if data["region_report"] is None
             else RegionReport.from_dict(data["region_report"])
         ),
-        # .get(): results persisted before the error field existed.
+        # .get(): results persisted before the error/tier_info fields
+        # existed.
         error=data.get("error"),
+        tier_info=data.get("tier_info"),
     )
 
 

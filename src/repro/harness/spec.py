@@ -18,6 +18,37 @@ from typing import Dict, Union
 
 
 @dataclass(frozen=True)
+class TierPolicy:
+    """How much detail a cell simulates (DESIGN.md, "Tiered simulation").
+
+    ``detailed`` runs the whole trace through the cycle core (bit-exact
+    reference mode); ``tiered`` fast-forwards functionally and simulates
+    only SimPoint-weighted windows, reconstituting whole-run statistics.
+    The policy is part of the spec identity: a tiered result never
+    answers for a detailed request, or vice versa.
+    """
+
+    mode: str = "detailed"  # detailed | tiered
+    interval: int = 2_000  #: SimPoint interval (tiered mode only)
+    max_windows: int = 6  #: maximum detailed windows (tiered mode only)
+    seed: int = 0  #: clustering seed (tiered mode only)
+
+    def __post_init__(self):
+        if self.mode not in ("detailed", "tiered"):
+            raise ValueError(
+                f"tier mode must be 'detailed' or 'tiered', got {self.mode!r}")
+
+    def describe(self) -> str:
+        if self.mode == "detailed":
+            return ""
+        return f" tiered(i{self.interval}k{self.max_windows})"
+
+
+#: The default policy: full-trace detailed simulation (the reference tier).
+DETAILED = TierPolicy()
+
+
+@dataclass(frozen=True)
 class CellSpec:
     """One timing simulation: benchmark x machine configuration."""
 
@@ -27,8 +58,15 @@ class CellSpec:
     instructions: int
     redefine_delay: int = 0
     record_register_events: bool = False
+    tier: TierPolicy = DETAILED
 
     kind = "cell"
+
+    def __post_init__(self):
+        # spec_from_dict round-trips nested dataclasses as plain dicts
+        # (asdict recurses); coerce so equality and hashing survive.
+        if isinstance(self.tier, dict):
+            object.__setattr__(self, "tier", TierPolicy(**self.tier))
 
     def describe(self) -> str:
         extra = ""
@@ -36,6 +74,7 @@ class CellSpec:
             extra += f" d{self.redefine_delay}"
         if self.record_register_events:
             extra += " +events"
+        extra += self.tier.describe()
         return f"{self.benchmark}/rf{self.rf_size}/{self.scheme}{extra}"
 
 

@@ -54,51 +54,33 @@ class Instruction:
     comment: str = field(default="", compare=False)
 
     # -- classification ----------------------------------------------------
-    @property
-    def op_class(self) -> OpClass:
-        return op_class(self.opcode)
+    # Classification is a pure function of the opcode, but the pipeline
+    # reads these flags millions of times per simulated run; precomputing
+    # them as plain instance attributes (instead of properties doing a
+    # dict lookup per read) keeps the fetch/rename/issue hot paths free of
+    # classification work.  They are intentionally NOT dataclass fields —
+    # equality, hashing, repr, ``fields()``/``asdict()`` and
+    # ``dataclasses.replace`` see only the declared fields above
+    # (``replace`` re-runs ``__post_init__``, so the cache never goes
+    # stale).  Cached: op_class, is_control, is_conditional_branch,
+    # is_indirect, is_memory, is_load, is_store, may_except,
+    # breaks_region_control, breaks_atomic_region (paper section 4.2.2),
+    # is_halt.
 
-    @property
-    def is_control(self) -> bool:
-        return is_control(self.opcode)
-
-    @property
-    def is_conditional_branch(self) -> bool:
-        return is_conditional_branch(self.opcode)
-
-    @property
-    def is_indirect(self) -> bool:
-        return is_indirect(self.opcode)
-
-    @property
-    def is_memory(self) -> bool:
-        return is_memory(self.opcode)
-
-    @property
-    def is_load(self) -> bool:
-        return is_load(self.opcode)
-
-    @property
-    def is_store(self) -> bool:
-        return is_store(self.opcode)
-
-    @property
-    def may_except(self) -> bool:
-        return may_except(self.opcode)
-
-    @property
-    def breaks_region_control(self) -> bool:
-        return breaks_region_control(self.opcode)
-
-    @property
-    def breaks_atomic_region(self) -> bool:
-        """True if renaming this instruction must bulk-set no-early-release
-        (paper section 4.2.2)."""
-        return breaks_atomic_region(self.opcode)
-
-    @property
-    def is_halt(self) -> bool:
-        return self.opcode is Opcode.HALT
+    def __post_init__(self) -> None:
+        op = self.opcode
+        set_attr = object.__setattr__  # frozen dataclass
+        set_attr(self, "op_class", op_class(op))
+        set_attr(self, "is_control", is_control(op))
+        set_attr(self, "is_conditional_branch", is_conditional_branch(op))
+        set_attr(self, "is_indirect", is_indirect(op))
+        set_attr(self, "is_memory", is_memory(op))
+        set_attr(self, "is_load", is_load(op))
+        set_attr(self, "is_store", is_store(op))
+        set_attr(self, "may_except", may_except(op))
+        set_attr(self, "breaks_region_control", breaks_region_control(op))
+        set_attr(self, "breaks_atomic_region", breaks_atomic_region(op))
+        set_attr(self, "is_halt", op is Opcode.HALT)
 
     # -- display -----------------------------------------------------------
     def render(self) -> str:

@@ -21,6 +21,11 @@ import enum
 class OpClass(enum.Enum):
     """Execution class; selects functional unit and latency."""
 
+    # Enum members are singletons, so the identity hash is valid and much
+    # cheaper than Enum's default name-string hash in dict-heavy hot paths
+    # (latency tables, port groups, per-file state keyed by class).
+    __hash__ = object.__hash__
+
     INT_ALU = "int_alu"
     INT_MUL = "int_mul"
     INT_DIV = "int_div"
@@ -42,6 +47,8 @@ class OpClass(enum.Enum):
 
 class Opcode(enum.Enum):
     """Static opcodes.  The value is the assembly mnemonic."""
+
+    __hash__ = object.__hash__
 
     # Integer ALU
     ADD = "add"

@@ -29,6 +29,10 @@ class RegClass(enum.Enum):
     logic only distinguishes ``INT``-file and ``VEC``-file registers.
     """
 
+    # Identity hash: members are singletons and this class keys the hottest
+    # dicts in the machine (values, ptag_ready, rename files, waiters).
+    __hash__ = object.__hash__
+
     INT = "int"
     VEC = "vec"
     FLAGS = "flags"

@@ -74,12 +74,18 @@ class Core:
     """One simulated core, bound to a trace and a release scheme."""
 
     def __init__(self, config: CoreConfig, trace: Trace,
-                 scheme: Optional[ReleaseScheme] = None):
+                 scheme: Optional[ReleaseScheme] = None,
+                 warmup=None, consume_warmup: bool = False):
         config.validate()
         if scheme is None:
             scheme = make_scheme(config.scheme, config.redefine_delay,
                                  config.scheme_debug_checks)
         self.state = build_state(config, trace, scheme)
+        if warmup is not None:
+            # Must precede stage construction: stages cache identity-
+            # stable references to branch_unit/memory/mem_values.
+            from .warmup import apply_warmup
+            apply_warmup(self.state, warmup, consume=consume_warmup)
         self._chained_release = None
         self._chained_claim = None
         # Freeze the dispatcher bound methods: attribute access would mint
@@ -97,6 +103,21 @@ class Core:
 
         self.stages = self._build_stages(self.state)
         self._pipeline = self.stages.in_order
+        # Hot-loop caches: bound stage methods (one LOAD_FAST + call per
+        # stage per cycle instead of two attribute chases) and the
+        # structural limits the skip-ahead progress test needs.  All of
+        # these are identity-stable for the life of the core.
+        self._stage_runs = tuple(stage.run for stage in self._pipeline)
+        self._scheme_tick = self.state.scheme.tick
+        self._rs_size = config.rs_size
+        self._lq_size = config.lq_size
+        self._sq_size = config.sq_size
+        self._fetch_queue_cap = 3 * config.fetch_width
+        self._trace_len = len(trace.entries)
+        ready = self.state.ready
+        self._ready_heaps = ((ready["alu"], False), (ready["load"], True),
+                             (ready["store"], False))
+        self._load_blocked = self.stages.issue._load_blocked_by_store
 
         # Online invariant sanitizer (repro.validate).  Imported lazily at
         # construction time only: validate layers on top of the harness,
@@ -212,21 +233,45 @@ class Core:
 
     # -- run --------------------------------------------------------------------
     def run(self, max_cycles: Optional[int] = None) -> SimStats:
-        """Simulate until the trace is fully committed; returns the stats."""
+        """Simulate until the trace is fully committed; returns the stats.
+
+        When ``config.skip_ahead`` is set and no probes or interrupt
+        controller are attached, quiescent windows — stretches of cycles
+        in which no stage can make progress because everything in flight
+        waits on a known-latency event — are jumped instead of spun, with
+        the per-cycle rename-stall accounting replayed in bulk so the
+        resulting :class:`SimStats` are bit-identical to the spin loop.
+        """
         state = self.state
         if max_cycles is None:
             max_cycles = 5000 + 100 * len(state.trace)
         last_commit_cycle = 0
         last_committed = 0
         stats = state.stats
+        step = self.step
+        skip_enabled = state.config.skip_ahead
         while not state.done:
             state.cycle += 1
-            self.step()
+            step()
             if stats.committed != last_committed:
                 last_committed = stats.committed
                 last_commit_cycle = state.cycle
-            elif state.cycle - last_commit_cycle > 200_000:
-                raise self._deadlock("no commit for 200k cycles")
+            else:
+                if state.cycle - last_commit_cycle > 200_000:
+                    raise self._deadlock("no commit for 200k cycles")
+                if (skip_enabled and not state.done
+                        and state.probes is None
+                        and state.interrupt_controller is None):
+                    # Furthest cycle provably indistinguishable from
+                    # spinning; clamped so the deadlock/max-cycle raises
+                    # fire at exactly the cycle the spin loop would.
+                    bound = last_commit_cycle + 200_000
+                    if max_cycles - 1 < bound:
+                        bound = max_cycles - 1
+                    target = self._skip_target(bound)
+                    if target > state.cycle:
+                        self._charge_skipped(target - state.cycle)
+                        state.cycle = target
             if state.cycle >= max_cycles:
                 raise self._deadlock(f"exceeded max_cycles={max_cycles}")
         stats.cycles = state.cycle
@@ -234,18 +279,122 @@ class Core:
             self.check_conservation()
         return stats
 
+    def _skip_target(self, bound: int) -> int:
+        """The furthest cycle the clock may jump to with no stage able to
+        make progress in between; returns the current cycle when any stage
+        could act next cycle (i.e. nothing may be skipped).
+
+        Soundness: during a quiescent window the only per-cycle state
+        change the spin loop performs is rename-stall accounting (replayed
+        by :meth:`_charge_skipped`) — the scheme tick is a no-op until its
+        next pending signal, the memory hierarchy reaps MSHRs lazily on
+        access, and completion wakeups are keyed by absolute cycle — so
+        every candidate below is an *upper* bound on the jump and the
+        minimum of them is exact.
+        """
+        state = self.state
+        cycle = state.cycle
+        completions = state.completions
+        if cycle + 1 in completions:
+            return cycle  # writeback next cycle: the common busy case
+        rob = state.rob
+        head = rob.head()
+        if head is not None and head.completed and head.precommitted:
+            return cycle  # commit can retire
+        pre = rob.at_offset(rob.precommit_offset)
+        if (pre is not None and pre.resolved
+                and (pre.issued or not pre.instr.may_except)):
+            return cycle  # precommit pointer can advance
+        load_blocked = self._load_blocked
+        # Scan budget: heaps can be tombstone-heavy on busy phases, where
+        # a deep scan costs more than the skip it almost never finds.
+        # Giving up early is conservative — "no skip" is always sound.
+        budget = 64
+        for heap, is_load in self._ready_heaps:
+            for _seq, entry in heap:
+                budget -= 1
+                if budget < 0:
+                    return cycle
+                if entry.issued or entry.squashed:
+                    continue  # tombstone; popping it is not progress
+                if is_load and load_blocked(entry):
+                    continue  # deferred until an older store issues
+                return cycle  # a ready instruction can issue
+        fetch_queue = state.fetch_queue
+        fq_head = state.fq_head
+        if fq_head < len(fetch_queue):
+            ready = fetch_queue[fq_head].ready_cycle
+            if ready <= cycle + 1:
+                # The frontend head is (or will be) renameable; skipping
+                # is only sound while a structural limit blocks it.
+                instr = fetch_queue[fq_head].dyn.instr
+                if not (rob.is_full
+                        or state.rs_used >= self._rs_size
+                        or (instr.is_load and state.lq_used >= self._lq_size)
+                        or (instr.is_store and state.sq_used >= self._sq_size)
+                        or not state.rename_unit.can_rename(instr)):
+                    return cycle
+            elif ready - 1 < bound:
+                bound = ready - 1  # frontend pipeline delay
+        if (not state.stalled_for_resolve
+                and not state.interrupt_fetch_stall
+                and len(fetch_queue) - fq_head < self._fetch_queue_cap
+                and (state.wrong_pc is not None if state.wrong_path
+                     else state.cursor < self._trace_len)):
+            stall = state.fetch_stall_until
+            if stall <= cycle + 1:
+                return cycle  # fetch can supply next cycle
+            if stall - 1 < bound:
+                bound = stall - 1  # icache-miss / redirect-penalty stall
+        if completions:
+            next_completion = min(completions) - 1
+            if next_completion < bound:
+                bound = next_completion
+        pending = state.scheme.next_pending_cycle()
+        if pending is not None and pending - 1 < bound:
+            bound = pending - 1  # delayed redefinition signal (ATR)
+        return bound if bound > cycle else cycle
+
+    def _charge_skipped(self, skipped: int) -> None:
+        """Replay the rename-stall accounting the spin loop would have
+        performed over *skipped* quiescent cycles (the blocking cause is
+        invariant across the window: nothing runs, so nothing changes)."""
+        state = self.state
+        stats = state.stats
+        fetch_queue = state.fetch_queue
+        fq_head = state.fq_head
+        if fq_head >= len(fetch_queue):
+            stats.stall_empty += skipped
+            return
+        if fetch_queue[fq_head].ready_cycle > state.cycle + 1:
+            return  # head still in the frontend pipeline: no stall charged
+        instr = fetch_queue[fq_head].dyn.instr
+        if state.rob.is_full:
+            stats.stall_rob += skipped
+        elif state.rs_used >= self._rs_size:
+            stats.stall_rs += skipped
+        elif instr.is_load and state.lq_used >= self._lq_size:
+            stats.stall_lq += skipped
+        elif instr.is_store and state.sq_used >= self._sq_size:
+            stats.stall_sq += skipped
+        else:
+            # _skip_target only skips past a renameable head when the free
+            # list is the blocker.
+            stats.stall_freelist += skipped
+            state.rename_unit.stall_cycles += skipped
+
     def step(self) -> None:
         """Advance one cycle through the documented phase order."""
         state = self.state
         cycle = state.cycle
         probes = state.probes
         if probes is None:
-            state.scheme.tick(cycle)
+            self._scheme_tick(cycle)
             controller = state.interrupt_controller
             if controller is not None:
                 state.interrupt_fetch_stall = controller.tick(cycle)
-            for stage in self._pipeline:
-                stage.run(state, cycle)
+            for run in self._stage_runs:
+                run(state, cycle)
         else:
             phase_probes = probes.phase
             for fn in phase_probes:
@@ -260,7 +409,10 @@ class Core:
                 stage.run(state, cycle)
             for fn in probes.cycle_end:
                 fn(cycle)
-        if state.frontend_exhausted() and len(state.rob) == 0:
+        # Inlined state.frontend_exhausted() — this runs every cycle.
+        if (state.cursor >= self._trace_len
+                and state.fq_head >= len(state.fetch_queue)
+                and len(state.rob) == 0):
             state.done = True
 
     def _deadlock(self, reason: str) -> DeadlockError:

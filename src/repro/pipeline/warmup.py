@@ -1,0 +1,169 @@
+"""Functional fast-forward warmup for tiered simulation.
+
+The tiered protocol (DESIGN.md, "Tiered simulation") runs the golden
+functional emulator over a program prefix while updating only the
+cheap-to-model microarchitectural state that matters for detailed
+accuracy, then hands the result to a detailed :class:`~.core.Core` so the
+cycle-level window starts hot instead of cold:
+
+* **branch state** — every correct-path control instruction trains the
+  direction predictor, BTB, indirect predictor, and RAS through the same
+  ``predict``-then-``resolve`` sequence the fetch stage performs, so the
+  predictor tables at the window boundary match what a detailed run from
+  the start would have produced up to timing-dependent wrong-path noise
+  (wrong-path fetch trains nothing in this machine, which is what makes
+  this approximation tight);
+* **cache/memory state** — instruction fetch touches the icache once per
+  fetch-target block, loads and stores touch the data side, with the
+  instruction index as a pseudo-cycle so MSHR merging and DRAM row state
+  evolve plausibly; snapshots clear the MSHR file (all fills have
+  logically arrived by the window boundary);
+* **architectural state** — registers, FLAGS, and memory from the
+  emulator, installed through the initial RAT so the window's value
+  execution and end-of-window architectural comparison see the prefix's
+  effects.
+
+What is deliberately **not** primed: ROB/queue occupancy, in-flight
+instructions, rename state beyond the architectural mapping, and store
+buffers — the pipeline drains at a window boundary by construction, and
+the first ~pipeline-depth cycles of a window re-fill the frontend (the
+classic "detailed warmup" transient; EXPERIMENTS.md quantifies it).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..branch import BranchUnit
+from ..frontend import ArchState, Emulator, Trace
+from ..isa import FLAGS, I_BYTES, RegClass, ireg, vreg
+from ..memory import MemoryHierarchy
+from .config import CoreConfig
+
+
+def _clone(obj):
+    """Deep copy via pickle — several times faster than ``copy.deepcopy``
+    on the dict-heavy predictor/cache state cloned here (enum members
+    pickle by name, so singletons stay singletons)."""
+    return pickle.loads(pickle.dumps(obj, pickle.HIGHEST_PROTOCOL))
+
+
+@dataclass
+class WarmupState:
+    """Primed state at one fast-forward stop.
+
+    ``apply_warmup`` deep-copies the mutable members, so one
+    ``WarmupState`` may seed any number of detailed cores.
+    """
+
+    instructions: int  #: prefix length executed before this stop
+    arch: ArchState
+    branch_unit: BranchUnit
+    memory: MemoryHierarchy
+
+
+def fast_forward(config: CoreConfig, trace: Trace,
+                 stops: Sequence[int]) -> List[WarmupState]:
+    """Emulate *trace*'s program prefix once, snapshotting at *stops*.
+
+    Each stop is an instruction count (0 = cold start); stops are
+    deduplicated and visited in ascending order, so a multi-window tiered
+    run pays one functional pass regardless of window count.
+    """
+    from .stages.fetch import make_predictor
+
+    entries = trace.entries
+    ordered = sorted(set(stops))
+    if ordered and (ordered[0] < 0 or ordered[-1] > len(entries)):
+        raise ValueError(
+            f"warmup stops {ordered[0]}..{ordered[-1]} outside trace of "
+            f"{len(entries)} instructions")
+
+    branch_unit = BranchUnit(direction=make_predictor(config.predictor))
+    memory = MemoryHierarchy(config.memory)
+    if config.model_icache:
+        # Same code-image pre-warm as build_state, so a window boundary
+        # never looks *colder* than a from-reset detailed run.
+        code_bytes = len(trace.program) * I_BYTES
+        for addr in range(0, code_bytes, config.memory.line_bytes):
+            memory.l1i.fill(addr)
+            memory.l2.fill(addr)
+
+    emulator = Emulator(trace.program)
+    model_icache = config.model_icache
+    ft_block_bytes = config.ft_block_bytes
+    last_fetch_block = -1
+    executed = 0
+    snapshots: List[WarmupState] = []
+    for stop in ordered:
+        while executed < stop:
+            record = emulator.step()
+            if record is None or record.pc != entries[executed].pc:
+                raise RuntimeError(
+                    f"fast-forward diverged from trace at instruction "
+                    f"{executed} (pc {entries[executed].pc})")
+            instr = record.instr
+            if model_icache:
+                block = (record.pc * I_BYTES) // ft_block_bytes
+                if block != last_fetch_block:
+                    memory.fetch(executed, record.pc * I_BYTES)
+                    last_fetch_block = block
+                if record.taken:
+                    last_fetch_block = -1
+            if instr.is_control and not instr.is_halt:
+                prediction = branch_unit.predict(record.pc, instr)
+                branch_unit.resolve(record.pc, instr, prediction,
+                                    record.taken, record.next_pc)
+            if record.mem_addr is not None:
+                if instr.is_load:
+                    memory.load(executed, record.mem_addr, pc=record.pc)
+                elif instr.is_store:
+                    memory.store(executed, record.mem_addr, pc=record.pc)
+            executed += 1
+        warm_memory = _clone(memory)
+        # Pseudo-time ends at the window boundary: every outstanding fill
+        # has logically arrived, so the detailed window (which restarts
+        # the clock at 0) must not inherit pseudo-cycle completion times.
+        warm_memory._mshr.clear()
+        snapshots.append(WarmupState(
+            instructions=executed,
+            arch=emulator.snapshot(),
+            branch_unit=_clone(branch_unit),
+            memory=warm_memory,
+        ))
+    return snapshots
+
+
+def apply_warmup(state, warmup: WarmupState, consume: bool = False) -> None:
+    """Install *warmup* into a freshly built ``PipelineState``.
+
+    Must run before stages are constructed (stages cache identity-stable
+    references to ``state.branch_unit`` / ``state.memory``).  The
+    architectural registers are primed through the initial RAT mapping,
+    so the window's value execution continues exactly from the prefix.
+
+    With ``consume=True`` the warmup's mutable members move into the
+    pipeline instead of being cloned — a single-use optimization for
+    callers (like ``repro.tiered``) that discard the checkpoint after
+    seeding exactly one core.
+    """
+    if consume:
+        state.branch_unit = warmup.branch_unit
+        state.memory = warmup.memory
+    else:
+        state.branch_unit = _clone(warmup.branch_unit)
+        state.memory = _clone(warmup.memory)
+    arch = warmup.arch
+    unit = state.rename_unit
+    int_rat = unit.files[RegClass.INT].rat
+    vec_rat = unit.files[RegClass.VEC].rat
+    int_values = state.values[RegClass.INT]
+    vec_values = state.values[RegClass.VEC]
+    for i in range(16):
+        int_values[int_rat.read(ireg(i).srt_slot)] = arch.int_regs[i]
+        vec_values[vec_rat.read(vreg(i).srt_slot)] = arch.vec_regs[i]
+    int_values[int_rat.read(FLAGS.srt_slot)] = arch.flags
+    state.mem_values.clear()
+    state.mem_values.update(arch.memory)

@@ -71,6 +71,12 @@ class AtrScheme(ConsumerTrackingScheme):
             _, file_cls, ptag, epoch = self._pending.popleft()
             self._try_delayed_release(file_cls, ptag, epoch)
 
+    def next_pending_cycle(self):
+        """Visibility cycle of the oldest in-flight redefinition signal
+        (the deque is appended in rename order with a constant delay, so
+        the head is always the earliest)."""
+        return self._pending[0][0] if self._pending else None
+
     def _try_delayed_release(self, file_cls: RegClass, ptag: int, epoch: int) -> None:
         file = self.unit.files[file_cls]
         e = file.prt.entries[ptag]

@@ -112,6 +112,16 @@ class ReleaseScheme:
     def tick(self, cycle: int) -> None:
         pass
 
+    def next_pending_cycle(self) -> "int | None":
+        """Earliest future cycle at which :meth:`tick` has queued work, or
+        ``None`` when the scheme holds no time-delayed state.
+
+        The core's skip-ahead fast path uses this to bound how far the
+        cycle counter may jump without a tick observing anything; schemes
+        with pipelined (delayed) signals must override it.
+        """
+        return None
+
     def pre_rename(self, entry, cycle: int) -> None:
         pass
 

@@ -1,0 +1,109 @@
+"""Skip-ahead soundness: jumping the clock must be invisible in the stats.
+
+``Core.run`` with ``skip_ahead`` enabled may advance the cycle counter
+over provably quiescent windows instead of spinning through them.  The
+contract is *bit-identity*: every ``SimStats`` field (cycles included),
+the scheme's accounting, the rename unit's stall counter, and the final
+architectural state must equal the spin loop's, on every workload shape
+— including chaos-jittered machines whose latencies and flush patterns
+are nothing like the golden-cove default.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.frontend.emulator import canonical_state
+from repro.pipeline import Core, DeadlockError, fast_test_config
+from repro.validate.chaos import ChaosCore, ChaosSpec, _chaos_rng, chaos_config
+from repro.workloads import ALL_BENCHMARKS, build_trace
+
+
+def _run(config, trace, skip: bool):
+    core = Core(replace(config, skip_ahead=skip), trace)
+    stats = core.run()
+    return core, stats
+
+
+def _fingerprint(core, stats):
+    return (
+        stats.to_dict(),
+        core.scheme.stats.to_dict(),
+        core.state.rename_unit.stall_cycles,
+        canonical_state(core.architectural_state()),
+    )
+
+
+def assert_skip_identical(config, trace):
+    spin_core, spin_stats = _run(config, trace, skip=False)
+    skip_core, skip_stats = _run(config, trace, skip=True)
+    assert _fingerprint(skip_core, skip_stats) == \
+        _fingerprint(spin_core, spin_stats)
+
+
+@pytest.mark.parametrize("kernel", sorted(ALL_BENCHMARKS))
+def test_skip_matches_spin_kernel_suite(kernel):
+    trace = build_trace(kernel, 1500)
+    assert_skip_identical(fast_test_config(rf_size=40, scheme="atr"), trace)
+
+
+@pytest.mark.parametrize("scheme", ["baseline", "nonspec_er", "combined"])
+def test_skip_matches_spin_schemes(scheme):
+    trace = build_trace("505.mcf_r", 2000)
+    assert_skip_identical(fast_test_config(rf_size=32, scheme=scheme), trace)
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("kernel", ["505.mcf_r", "503.bwaves_r"])
+def test_skip_matches_spin_chaos_machines(kernel, seed):
+    """Jittered machine shapes *and* jittered timing faults.
+
+    Chaos faults draw from the seeded RNG per instruction event, not per
+    cycle, so the event sequence is clock-jump-invariant and identity
+    must still hold.  (The sanitizer is detached: probes force the spin
+    loop by design, which would make this test vacuous.)
+    """
+    spec = ChaosSpec(benchmark=kernel, scheme="atr", rf_size=40,
+                     instructions=1500, seed=seed)
+    config = replace(chaos_config(spec, _chaos_rng(spec)),
+                     check_invariants=False)
+    trace = build_trace(kernel, 1500)
+
+    results = []
+    for skip in (False, True):
+        core = ChaosCore(replace(config, skip_ahead=skip), trace,
+                         rng=_chaos_rng(spec), flip_prob=0.02, exec_jitter=3)
+        stats = core.run()
+        results.append(_fingerprint(core, stats))
+    assert results[0] == results[1]
+
+
+def test_probes_force_spin_loop():
+    """An attached probe disables skip-ahead (observers see every cycle),
+    and the probed run still matches the unprobed spin loop."""
+    from repro.pipeline import RecordingProbe
+
+    trace = build_trace("505.mcf_r", 1200)
+    config = fast_test_config(rf_size=40, scheme="atr")
+
+    _, spin_stats = _run(config, trace, skip=False)
+
+    core = Core(replace(config, skip_ahead=True), trace)
+    probe = core.add_probe(RecordingProbe())
+    probed_stats = core.run()
+    assert probed_stats.to_dict() == spin_stats.to_dict()
+    assert probe.events  # the observer actually saw the run
+
+
+def test_deadlock_raises_at_the_same_cycle():
+    """The skip bound is clamped so max-cycle exhaustion fires at exactly
+    the cycle the spin loop would report."""
+    trace = build_trace("505.mcf_r", 1500)
+    config = fast_test_config(rf_size=40, scheme="atr")
+    cycles = []
+    for skip in (False, True):
+        core = Core(replace(config, skip_ahead=skip), trace)
+        with pytest.raises(DeadlockError):
+            core.run(max_cycles=60)
+        cycles.append(core.state.cycle)
+    assert cycles[0] == cycles[1]
