@@ -13,8 +13,16 @@ Commands:
 * ``validate`` — seeded fault-injection campaign: every cell runs with
   the online invariant sanitizer attached and is differentially verified
   against the golden emulator; exits non-zero on any violation.
-* ``cache`` — inspect (``info``) or empty (``clear``) the persistent
-  result store (``~/.cache/repro`` or ``$REPRO_CACHE_DIR``).
+* ``cache`` — inspect (``info``), empty (``clear``), or garbage-collect
+  (``gc --max-bytes|--max-age``) the persistent result store
+  (``~/.cache/repro`` or ``$REPRO_CACHE_DIR``).
+* ``serve`` — run the sweep service: durable job queue + socket API +
+  local worker pool; clients and remote workers connect to it.
+* ``submit`` / ``status`` / ``watch`` / ``cancel`` — async sweep-job
+  clients against a running service (``--addr`` or
+  ``$REPRO_SERVICE_ADDR``).
+* ``work`` — join this host's cores to a remote coordinator
+  (multi-host sharding; results travel back over the socket).
 * ``analyze`` — trace-level atomic-region analysis of a benchmark.
 * ``lint`` — static analysis of kernel programs: CFG/dataflow findings
   with stable rule IDs, plus (``--oracle``) the dynamic-vs-static ATR
@@ -26,6 +34,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
@@ -83,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: all cores)")
     figure.add_argument("-v", "--verbose", action="store_true",
                         help="per-cell progress lines on stderr")
+    figure.add_argument("--remote", nargs="?", const="", default=None,
+                        metavar="HOST:PORT",
+                        help="resolve cold cells through a running "
+                             "`repro serve` (default $REPRO_SERVICE_ADDR "
+                             "or 127.0.0.1:7341); falls back to local "
+                             "execution when no service answers")
 
     swp = sub.add_parser("sweep", help="run a benchmark x rf x scheme grid "
                                        "through the parallel harness")
@@ -151,7 +166,72 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("-v", "--verbose", action="store_true")
 
     cache = sub.add_parser("cache", help="manage the persistent result store")
-    cache.add_argument("action", choices=["info", "clear"])
+    cache.add_argument("action", choices=["info", "clear", "gc"])
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       help="gc: evict least-recently-used entries (stale "
+                            "generations first) until the cache fits")
+    cache.add_argument("--max-age", type=float, default=None,
+                       help="gc: evict entries not read/written for this "
+                            "many seconds")
+
+    serve = sub.add_parser(
+        "serve", help="run the sweep service (job queue + worker pool)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1; 0.0.0.0 to "
+                            "accept remote workers/clients)")
+    serve.add_argument("-p", "--port", type=int, default=7341,
+                       help="TCP port (default 7341; 0 picks a free port)")
+    serve.add_argument("-w", "--workers", type=int, default=None,
+                       help="local worker processes (default: all cores; "
+                            "0 = coordinator only)")
+    serve.add_argument("--lease", type=float, default=None,
+                       help="cell lease seconds before crash-requeue "
+                            "(default 600, or $REPRO_CELL_TIMEOUT)")
+
+    submit = sub.add_parser(
+        "submit", help="submit an async sweep job to a running service")
+    submit.add_argument("-b", "--benchmarks",
+                        default="mcf,deepsjeng,bwaves,namd",
+                        help="comma-separated suite names")
+    submit.add_argument("-r", "--rf-sizes", default="64",
+                        help="comma-separated register file sizes")
+    submit.add_argument("-s", "--schemes",
+                        default="baseline,nonspec_er,atr,combined",
+                        help="comma-separated release schemes")
+    submit.add_argument("-n", "--instructions", type=int, default=None)
+    submit.add_argument("-d", "--redefine-delay", type=int, default=0)
+    submit.add_argument("--quick", action="store_true",
+                        help="2 int + 2 fp benchmarks, 1 rf size")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="queue priority (higher runs first)")
+    submit.add_argument("--label", default="cli",
+                        help="job label shown in status listings")
+    submit.add_argument("--watch", action="store_true",
+                        help="stream progress until the job finishes")
+    submit.add_argument("--addr", default=None, metavar="HOST:PORT",
+                        help="service address (default $REPRO_SERVICE_ADDR "
+                             "or 127.0.0.1:7341)")
+
+    status = sub.add_parser("status", help="job/queue status of a service")
+    status.add_argument("job", nargs="?", default=None,
+                        help="job id (omit for the queue overview)")
+    status.add_argument("--addr", default=None, metavar="HOST:PORT")
+
+    watch = sub.add_parser("watch", help="stream a job's progress")
+    watch.add_argument("job", help="job id (from `repro submit`)")
+    watch.add_argument("--addr", default=None, metavar="HOST:PORT")
+
+    cancel = sub.add_parser("cancel", help="cancel a queued job")
+    cancel.add_argument("job", help="job id")
+    cancel.add_argument("--addr", default=None, metavar="HOST:PORT")
+
+    work = sub.add_parser(
+        "work", help="run worker processes against a remote coordinator")
+    work.add_argument("--addr", default=None, metavar="HOST:PORT",
+                      help="coordinator address (default "
+                           "$REPRO_SERVICE_ADDR or 127.0.0.1:7341)")
+    work.add_argument("-w", "--workers", type=int, default=None,
+                      help="worker processes (default: all cores)")
 
     analyze = sub.add_parser("analyze", help="atomic-region analysis")
     _add_common(analyze)
@@ -284,6 +364,15 @@ def _cmd_figure(args) -> int:
     from .experiments import ALL_FIGURES
     from .harness import SweepError, set_default_progress
 
+    remote_client = None
+    if args.remote is not None:
+        from .service import use_remote
+
+        remote_client = use_remote(args.remote or None, label="figure")
+        if remote_client is None:
+            print("figure: no repro service reachable; running locally",
+                  file=sys.stderr)
+
     if args.name == "all":
         names = list(ALL_FIGURES)
     elif args.name in ALL_FIGURES:
@@ -312,6 +401,10 @@ def _cmd_figure(args) -> int:
                 print()
     finally:
         set_default_progress(None)
+        if remote_client is not None:
+            from .service import clear_remote
+
+            clear_remote()
     progress.emit_summary()
     if failed:
         print(f"FAILED figures: {', '.join(failed)}", file=sys.stderr)
@@ -405,7 +498,20 @@ def _cmd_cache(args) -> int:
         removed = store.clear()
         print(f"removed {removed} cached result(s) from {store.root}")
         return 0
-    info = store.info()
+    if args.action == "gc":
+        from .service import run_gc
+
+        if args.max_bytes is None and args.max_age is None:
+            print("cache gc: pass --max-bytes and/or --max-age",
+                  file=sys.stderr)
+            return 2
+        report = run_gc(store, max_bytes=args.max_bytes,
+                        max_age=args.max_age)
+        print(report.render())
+        return 0
+    from .service import cache_report
+
+    info = cache_report(store)
     print(f"cache root:       {info['root']}")
     print(f"code fingerprint: {info['fingerprint'][:16]}")
     print(f"entries:          {info['entries']} ({info['bytes']} bytes)")
@@ -415,6 +521,187 @@ def _cmd_cache(args) -> int:
               f"{generation['bytes']} bytes{marker}")
     if not info["generations"]:
         print("  (empty)")
+    lifetime = info["counters"]["lifetime"]
+    rate = (f", hit rate {info['hit_rate']:.1%}"
+            if info["hit_rate"] is not None else "")
+    print(f"lifetime:         {lifetime['hits']} hits, "
+          f"{lifetime['misses']} misses, {lifetime['puts']} puts, "
+          f"{lifetime['evictions']} evictions{rate}")
+    session = info["counters"]["session"]
+    print(f"this process:     {session['hits']} hits, "
+          f"{session['misses']} misses, {session['puts']} puts")
+    return 0
+
+
+def _submit_specs(args):
+    """The spec grid of a ``repro submit`` invocation."""
+    from .experiments.runner import cell_spec
+    from .workloads import resolve
+
+    if args.quick:
+        benchmarks = ["505.mcf_r", "531.deepsjeng_r",
+                      "503.bwaves_r", "508.namd_r"]
+        rf_sizes = [64]
+    else:
+        benchmarks = [resolve(b.strip())
+                      for b in args.benchmarks.split(",") if b.strip()]
+        rf_sizes = [int(r) for r in args.rf_sizes.split(",") if r.strip()]
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    return [
+        cell_spec(benchmark, rf_size, scheme, args.instructions,
+                  redefine_delay=args.redefine_delay)
+        for benchmark in benchmarks
+        for rf_size in rf_sizes
+        for scheme in schemes
+    ]
+
+
+def _render_job(job: dict) -> str:
+    label = f" [{job['label']}]" if job.get("label") else ""
+    return (f"{job['id']}{label}: {job['state']}  "
+            f"{job['done']}/{job['total']} done, "
+            f"{job['leased']} running, {job['pending']} pending"
+            + (f", {job['dead']} FAILED" if job["dead"] else ""))
+
+
+def _watch_to_completion(client, job_id: str) -> int:
+    last_done = -1
+    final = {}
+    for event in client.watch(job_id):
+        job = event.get("job", {})
+        if job.get("done") != last_done or event.get("event") == "done":
+            print(_render_job(job), flush=True)
+            last_done = job.get("done")
+        if event.get("event") == "done":
+            final = job
+            break
+    for cell in final.get("failed_cells", []):
+        print(f"  failed: {cell.get('digest', '?')[:16]} "
+              f"{cell.get('error')}", file=sys.stderr)
+    return 0 if final.get("state") == "done" else 1
+
+
+def _cmd_serve(args) -> int:
+    from .harness import default_timeout
+    from .service import run_service
+
+    lease = args.lease if args.lease is not None else default_timeout()
+    workers = args.workers if args.workers is not None else _default_jobs()
+    return run_service(host=args.host, port=args.port, workers=workers,
+                       lease=lease)
+
+
+def _cmd_submit(args) -> int:
+    import time
+
+    from .harness import spec_to_dict
+    from .service import ServiceClient, ServiceError
+
+    specs = _submit_specs(args)
+    client = ServiceClient(args.addr)
+    started = time.monotonic()
+    try:
+        receipt = client.submit([spec_to_dict(s) for s in specs],
+                                priority=args.priority, label=args.label)
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    print(f"job {receipt['job']}: {receipt['total']} cells "
+          f"({receipt['new']} new, {receipt['coalesced']} coalesced, "
+          f"{receipt['warm']} warm)")
+    if not args.watch:
+        return 0
+    code = _watch_to_completion(client, receipt["job"])
+    print(f"elapsed {time.monotonic() - started:.2f}s")
+    return code
+
+
+def _cmd_status(args) -> int:
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.addr)
+    try:
+        reply = client.status(args.job)
+    except ServiceError as exc:
+        print(f"status: {exc}", file=sys.stderr)
+        return 1
+    if args.job is not None:
+        print(_render_job(reply["job"]))
+        for cell in reply["job"].get("failed_cells", []):
+            print(f"  failed: {cell.get('digest', '?')[:16]} "
+                  f"{cell.get('error')}")
+        return 0
+    stats = reply["stats"]
+    cells = stats["cells"]
+    print(f"queue {stats['root']}: {cells['pending']} pending, "
+          f"{cells['leased']} leased, {cells['done']} done, "
+          f"{cells['dead']} dead")
+    counters = stats["counters"]
+    if counters:
+        print("counters: " + ", ".join(
+            f"{key} {value}" for key, value in sorted(counters.items())))
+    for host in stats["hosts"]:
+        liveness = "alive" if host["alive"] else "gone"
+        print(f"host {host['host']}: {host.get('workers', '?')} worker(s), "
+              f"{liveness}")
+    for job in reply["jobs"][:20]:
+        print(_render_job(job))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from .service import ServiceClient, ServiceError
+
+    try:
+        return _watch_to_completion(ServiceClient(args.addr), args.job)
+    except ServiceError as exc:
+        print(f"watch: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_cancel(args) -> int:
+    from .service import ServiceClient, ServiceError
+
+    try:
+        cancelled = ServiceClient(args.addr).cancel(args.job)
+    except ServiceError as exc:
+        print(f"cancel: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.job}: {'cancelled' if cancelled else 'not cancellable'}")
+    return 0 if cancelled else 1
+
+
+def _cmd_work(args) -> int:
+    from .service import ServiceClient, ServiceUnavailable, format_addr, \
+        resolve_addr, spawn_workers
+
+    addr = format_addr(resolve_addr(args.addr))
+    try:
+        ServiceClient(addr).ping()
+    except ServiceUnavailable as exc:
+        print(f"work: {exc}", file=sys.stderr)
+        return 1
+    count = args.workers if args.workers is not None else _default_jobs()
+    print(f"work: {count} worker(s) pulling from {addr}")
+
+    # `kill <pid>` must take the pool down with it, not orphan workers
+    # that keep claiming leases (same contract as `repro serve`).
+    def _on_sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+    processes = spawn_workers(addr, count)
+    try:
+        for process in processes:
+            process.join()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for process in processes:
+            process.terminate()
+        for process in processes:
+            process.join(2.0)
+        signal.signal(signal.SIGTERM, previous_sigterm)
     return 0
 
 
@@ -521,6 +808,12 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "validate": _cmd_validate,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "watch": _cmd_watch,
+    "cancel": _cmd_cancel,
+    "work": _cmd_work,
     "analyze": _cmd_analyze,
     "lint": _cmd_lint,
     "list": _cmd_list,

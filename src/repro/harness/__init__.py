@@ -46,12 +46,20 @@ from .spec import (
     spec_from_dict,
     spec_to_dict,
 )
-from .store import ResultStore, cache_root, code_fingerprint, default_store
+from .store import (
+    ResultStore,
+    cache_root,
+    code_fingerprint,
+    default_store,
+    fingerprint_sources,
+)
 from .sweep import (
     SweepError,
     SweepReport,
     get_default_progress,
+    get_remote_resolver,
     set_default_progress,
+    set_remote_resolver,
     sweep,
 )
 
@@ -62,8 +70,10 @@ __all__ = [
     "analyze_regions",
     "encode_result", "decode_result", "encode_cell_result", "decode_cell_result",
     "ResultStore", "default_store", "cache_root", "code_fingerprint",
+    "fingerprint_sources",
     "CellFailure", "run_specs", "resolve_jobs", "default_timeout",
     "SweepProgress",
     "sweep", "SweepReport", "SweepError",
     "set_default_progress", "get_default_progress",
+    "set_remote_resolver", "get_remote_resolver",
 ]

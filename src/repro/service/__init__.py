@@ -1,0 +1,64 @@
+"""repro.service — the sweep harness, promoted to a shared service.
+
+``repro.harness`` gives one process a parallel sweep with a persistent
+cache; this package makes that a *multi-client, multi-host* system:
+
+* **durable job queue** (:mod:`.queue`): on-disk jobs and cells with
+  priorities, atomic lease claim/renew, crash-safe requeue on lease
+  expiry, and per-digest deduplication — N concurrent submissions of
+  the same cell coalesce into exactly one execution;
+* **wire protocol + client** (:mod:`.api`): line-delimited JSON over
+  TCP; submit/status/watch/cancel for clients, claim/complete/fail/
+  heartbeat for workers;
+* **coordinator** (:mod:`.server`): ``repro serve`` — socket server,
+  lease reaper, store write-through, local worker pool;
+* **workers** (:mod:`.worker`): pull loops over the lease protocol,
+  local (fork) or remote (``repro work --addr``) — multi-host sharding
+  with host-registration heartbeats;
+* **cache management** (:mod:`.cachectl`): LRU/age eviction and the
+  hit/miss/put/eviction accounting behind ``repro cache info|gc``;
+* **remote sweeps** (:mod:`.remote`): ``figure all --remote`` resolves
+  cold cells through the service (falling back to local execution when
+  none is running).
+"""
+
+from .api import (
+    ADDR_ENV,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    format_addr,
+    resolve_addr,
+)
+from .cachectl import CacheEntry, GcReport, cache_report, plan_gc, run_gc, scan_entries
+from .queue import (
+    DEFAULT_LEASE,
+    DEFAULT_MAX_ATTEMPTS,
+    JobQueue,
+    Lease,
+    SubmitReceipt,
+    queue_root,
+)
+from .remote import clear_remote, remote_resolver, use_remote
+from .server import SweepService, run_service
+from .worker import (
+    LocalBackend,
+    RemoteBackend,
+    make_owner,
+    remote_worker_main,
+    spawn_workers,
+    worker_loop,
+)
+
+__all__ = [
+    "JobQueue", "Lease", "SubmitReceipt", "queue_root",
+    "DEFAULT_LEASE", "DEFAULT_MAX_ATTEMPTS",
+    "ServiceClient", "ServiceError", "ServiceUnavailable",
+    "resolve_addr", "format_addr", "ADDR_ENV",
+    "SweepService", "run_service",
+    "LocalBackend", "RemoteBackend", "worker_loop", "make_owner",
+    "remote_worker_main", "spawn_workers",
+    "CacheEntry", "GcReport", "scan_entries", "plan_gc", "run_gc",
+    "cache_report",
+    "use_remote", "clear_remote", "remote_resolver",
+]

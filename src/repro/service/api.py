@@ -1,0 +1,200 @@
+"""Service wire protocol + client: line-delimited JSON over TCP.
+
+One request is one JSON object on one line; the server answers with one
+JSON object per line (``watch`` streams several, ending with a
+``{"event": "done"}`` line).  Every response carries ``"ok"``; an error
+response is ``{"ok": false, "error": "..."}``.
+
+Operations
+----------
+
+==============  ======================================  ==============
+op              request fields                          reply
+==============  ======================================  ==============
+ping            —                                       pid, fingerprint
+submit          specs=[spec dicts], priority, label     job receipt
+status          job? (omit for overview)                job / overview
+watch           job, interval?                          event stream
+cancel          job                                     cancelled flag
+fetch           spec (dict)                             encoded result
+stats           —                                       queue + store
+claim           owner, host?, max?                      leased cells
+complete        owner, digest, result, elapsed?         accepted flag
+fail            owner, digest, error                    accepted flag
+heartbeat       host, workers?                          —
+shutdown        —                                       — (server exits)
+==============  ======================================  ==============
+
+``claim``/``complete``/``fail``/``heartbeat`` are the worker side of
+the protocol: a worker on *any* machine that can reach the coordinator
+socket participates in the sweep — results travel back inside
+``complete`` as the same JSON encoding the store uses, so no shared
+filesystem is required for multi-host sharding.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from typing import Dict, Iterator, List, Optional, Tuple
+
+ADDR_ENV = "REPRO_SERVICE_ADDR"
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7341
+
+#: Seconds a client waits for one reply before giving up.
+CLIENT_TIMEOUT = 30.0
+
+
+class ServiceError(RuntimeError):
+    """The service answered ``ok: false`` (or spoke garbage)."""
+
+
+class ServiceUnavailable(ServiceError):
+    """No server is reachable at the address."""
+
+
+def resolve_addr(addr: Optional[str] = None) -> Tuple[str, int]:
+    """``host:port`` from an explicit string, ``$REPRO_SERVICE_ADDR``,
+    or the default ``127.0.0.1:7341``."""
+    text = addr or os.environ.get(ADDR_ENV) or f"{DEFAULT_HOST}:{DEFAULT_PORT}"
+    if ":" in text:
+        host, _, port = text.rpartition(":")
+        return host or DEFAULT_HOST, int(port)
+    return text, DEFAULT_PORT
+
+
+def format_addr(addr: Tuple[str, int]) -> str:
+    return f"{addr[0]}:{addr[1]}"
+
+
+def _send_line(sock: socket.socket, payload: Dict) -> None:
+    sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+
+
+def _recv_lines(sock: socket.socket) -> Iterator[Dict]:
+    """Decode JSON objects line by line from *sock* until EOF."""
+    buffer = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        buffer += chunk
+        while b"\n" in buffer:
+            line, buffer = buffer.split(b"\n", 1)
+            if line.strip():
+                yield json.loads(line)
+
+
+class ServiceClient:
+    """Talk to a running sweep service.  One connection per request —
+    simple, stateless, and robust against server restarts."""
+
+    def __init__(self, addr: Optional[str] = None,
+                 timeout: float = CLIENT_TIMEOUT):
+        self.addr = resolve_addr(addr)
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        try:
+            sock = socket.create_connection(self.addr, timeout=self.timeout)
+        except OSError as exc:
+            raise ServiceUnavailable(
+                f"no repro service at {format_addr(self.addr)}: {exc}"
+            ) from exc
+        return sock
+
+    def request(self, payload: Dict) -> Dict:
+        """One request, one reply."""
+        with self._connect() as sock:
+            _send_line(sock, payload)
+            for reply in _recv_lines(sock):
+                if not reply.get("ok", False):
+                    raise ServiceError(reply.get("error", "service error"))
+                return reply
+        raise ServiceError("server closed the connection without a reply")
+
+    def stream(self, payload: Dict) -> Iterator[Dict]:
+        """One request, many reply lines (``watch``)."""
+        with self._connect() as sock:
+            sock.settimeout(None)  # watch streams are long-lived
+            _send_line(sock, payload)
+            for reply in _recv_lines(sock):
+                if not reply.get("ok", True):
+                    raise ServiceError(reply.get("error", "service error"))
+                yield reply
+
+    # -- client operations -------------------------------------------------------
+    def ping(self) -> Dict:
+        return self.request({"op": "ping"})
+
+    def available(self) -> bool:
+        try:
+            self.ping()
+            return True
+        except ServiceError:
+            return False
+
+    def submit(self, spec_dicts: List[Dict], priority: int = 0,
+               label: str = "") -> Dict:
+        return self.request({"op": "submit", "specs": spec_dicts,
+                             "priority": priority, "label": label})
+
+    def status(self, job_id: Optional[str] = None) -> Dict:
+        payload: Dict = {"op": "status"}
+        if job_id is not None:
+            payload["job"] = job_id
+        return self.request(payload)
+
+    def watch(self, job_id: str, interval: float = 0.2) -> Iterator[Dict]:
+        """Progress events until the job reaches a terminal state."""
+        yield from self.stream({"op": "watch", "job": job_id,
+                                "interval": interval})
+
+    def wait(self, job_id: str, interval: float = 0.2) -> Dict:
+        """Block until the job is terminal; returns its final status."""
+        last: Dict = {}
+        for event in self.watch(job_id, interval=interval):
+            last = event
+            if event.get("event") == "done":
+                break
+        return last.get("job", {})
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self.request({"op": "cancel",
+                                  "job": job_id}).get("cancelled"))
+
+    def fetch(self, spec_dict: Dict) -> Optional[Dict]:
+        """The encoded result payload for a spec, or None on a miss."""
+        return self.request({"op": "fetch", "spec": spec_dict}).get("result")
+
+    def stats(self) -> Dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> None:
+        try:
+            self.request({"op": "shutdown"})
+        except (ServiceError, OSError):
+            pass  # the socket may drop as the server exits
+
+    # -- worker operations -------------------------------------------------------
+    def claim(self, owner: str, host: str, max_cells: int = 1) -> List[Dict]:
+        return self.request({"op": "claim", "owner": owner, "host": host,
+                             "max": max_cells}).get("cells", [])
+
+    def complete(self, owner: str, digest: str, result: Dict,
+                 elapsed: Optional[float] = None) -> bool:
+        return bool(self.request({
+            "op": "complete", "owner": owner, "digest": digest,
+            "result": result, "elapsed": elapsed,
+        }).get("accepted"))
+
+    def fail(self, owner: str, digest: str, error: str) -> bool:
+        return bool(self.request({
+            "op": "fail", "owner": owner, "digest": digest, "error": error,
+        }).get("accepted"))
+
+    def heartbeat(self, host: str, workers: int = 1) -> None:
+        self.request({"op": "heartbeat", "host": host, "workers": workers})

@@ -1,0 +1,543 @@
+"""Durable sweep-job queue: on-disk, lease-based, deduplicating.
+
+A *job* is one submission — an ordered list of specs plus a priority
+and a label.  A *cell* is one unit of executable work, keyed by its
+:func:`~repro.harness.spec.spec_digest`.  The queue stores cells once:
+if two jobs (or the same client twice) submit an identical spec, both
+jobs reference the **same** cell record and the cell executes exactly
+once — that is the coalescing contract the dedup tests prove through
+the store's ``puts`` counter.
+
+Layout under one queue root (default ``<cache_root>/service``, or
+``$REPRO_SERVICE_DIR``)::
+
+    lock                 flock guard: every mutation runs under it
+    index.json           scheduler state: pending list, leases, states
+    jobs/<job-id>.json   job records (digests, priority, label, times)
+    cells/<digest>.json  cell records (spec, attempts, error, times)
+    hosts/<host>.json    worker-host heartbeats
+
+Every file is written atomically (tmp + ``os.replace``) and every
+read-modify-write runs under an exclusive ``fcntl`` lock on ``lock``,
+so any number of server threads and worker processes on one host (or
+on a shared filesystem) see a consistent queue.
+
+Lease protocol: ``claim`` hands a cell to an owner with a deadline
+(``now + lease``).  ``complete``/``fail`` are only honoured from the
+owner currently holding the lease.  If an owner dies, its lease
+expires and the next ``claim`` (or a server reaper tick) moves the
+cell back to pending — crash-safe requeue.  A cell that fails
+``max_attempts`` times is marked dead and its jobs report failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..harness.spec import Spec, spec_digest, spec_from_dict, spec_to_dict
+from ..harness.store import cache_root
+
+SERVICE_DIR_ENV = "REPRO_SERVICE_DIR"
+
+#: Seconds a claimed cell may run before its lease expires and the cell
+#: is eligible for requeue.  Must exceed the slowest expected cell.
+DEFAULT_LEASE = 600.0
+#: Executions per cell before it is declared dead (first run + retries).
+DEFAULT_MAX_ATTEMPTS = 3
+
+CELL_PENDING = "pending"
+CELL_LEASED = "leased"
+CELL_DONE = "done"
+CELL_DEAD = "dead"
+
+JOB_PENDING = "pending"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+
+#: A heartbeat older than this many seconds marks the host as gone.
+HOST_TTL = 30.0
+
+
+def queue_root() -> Path:
+    """The default queue directory (sibling of the result store)."""
+    override = os.environ.get(SERVICE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return cache_root() / "service"
+
+
+def _write_json(path: Path, payload: Dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _read_json(path: Path) -> Optional[Dict]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+@dataclass
+class Lease:
+    """One claimed cell: what to run and under which identity."""
+
+    digest: str
+    spec: Spec
+    attempt: int
+    expires: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "digest": self.digest,
+            "spec": spec_to_dict(self.spec),
+            "attempt": self.attempt,
+            "expires": self.expires,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Lease":
+        return cls(
+            digest=data["digest"],
+            spec=spec_from_dict(data["spec"]),
+            attempt=data["attempt"],
+            expires=data["expires"],
+        )
+
+
+@dataclass
+class SubmitReceipt:
+    """What a submission bought: one job, and how its cells landed."""
+
+    job_id: str
+    total: int  #: unique cells in the job
+    new: int  #: cells this submission introduced to the queue
+    coalesced: int  #: cells already queued/running for another job
+    warm: int  #: cells satisfied instantly from the result store
+    duplicates: int = 0  #: repeated specs within this submission
+
+    def to_dict(self) -> Dict:
+        return {
+            "job": self.job_id, "total": self.total, "new": self.new,
+            "coalesced": self.coalesced, "warm": self.warm,
+            "duplicates": self.duplicates,
+        }
+
+
+class JobQueue:
+    """The durable queue.  All public methods are multi-process safe."""
+
+    def __init__(self, root: Optional[Path] = None,
+                 lease: float = DEFAULT_LEASE,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 clock: Callable[[], float] = time.time):
+        self.root = Path(root) if root is not None else queue_root()
+        self.lease = lease
+        self.max_attempts = max_attempts
+        self.clock = clock
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths & locking ---------------------------------------------------------
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def _job_path(self, job_id: str) -> Path:
+        return self.root / "jobs" / f"{job_id}.json"
+
+    def _cell_path(self, digest: str) -> Path:
+        return self.root / "cells" / f"{digest}.json"
+
+    def _host_path(self, host: str) -> Path:
+        return self.root / "hosts" / f"{host}.json"
+
+    @contextmanager
+    def _locked(self):
+        lock_path = self.root / "lock"
+        handle = open(lock_path, "a+")
+        try:
+            try:
+                import fcntl
+            except ImportError:  # pragma: no cover - non-POSIX fallback
+                yield
+            else:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
+    def _load_index(self) -> Dict:
+        index = _read_json(self._index_path)
+        if not index:
+            index = {}
+        index.setdefault("seq", 0)
+        index.setdefault("pending", [])  # [[priority, seq, digest], ...]
+        index.setdefault("leases", {})  # digest -> {owner, expires, attempt}
+        index.setdefault("states", {})  # digest -> cell state
+        index.setdefault("counters", {})
+        return index
+
+    def _save_index(self, index: Dict) -> None:
+        _write_json(self._index_path, index)
+
+    @staticmethod
+    def _count(index: Dict, key: str, delta: int = 1) -> None:
+        index["counters"][key] = index["counters"].get(key, 0) + delta
+
+    # -- submission --------------------------------------------------------------
+    def submit(self, specs: Iterable[Spec], priority: int = 0,
+               label: str = "",
+               is_warm: Optional[Callable[[Spec], bool]] = None) -> SubmitReceipt:
+        """Enqueue one job; identical cells coalesce with existing work.
+
+        *is_warm* (typically ``store.contains``) short-circuits cells
+        whose result already exists: they are recorded as done without
+        ever entering the pending list — the warm-resubmission path.
+        """
+        specs = list(specs)
+        job_id = f"j-{uuid.uuid4().hex[:10]}"
+        now = self.clock()
+        digests: List[str] = []
+        new = coalesced = warm = duplicates = 0
+        with self._locked():
+            index = self._load_index()
+            seen_here = set()
+            for spec in specs:
+                digest = spec_digest(spec)
+                if digest in seen_here:
+                    duplicates += 1
+                    continue
+                seen_here.add(digest)
+                digests.append(digest)
+                state = index["states"].get(digest)
+                cell = _read_json(self._cell_path(digest)) if state else None
+                if (cell is not None and state == CELL_DONE
+                        and is_warm is not None and not is_warm(spec)):
+                    # Stale done-ness: the queue finished this cell once,
+                    # but the store no longer holds its result (evicted
+                    # by `cache gc`, or the code fingerprint moved on).
+                    # Treat it as never-run so the job gets real data.
+                    state = cell = None
+                if cell is not None and state not in (None, CELL_DEAD):
+                    # Coalesce: reference the live cell from this job too.
+                    if job_id not in cell["jobs"]:
+                        cell["jobs"].append(job_id)
+                    cell["priority"] = max(cell["priority"], priority)
+                    _write_json(self._cell_path(digest), cell)
+                    if state == CELL_DONE:
+                        warm += 1
+                    else:
+                        coalesced += 1
+                        self._count(index, "coalesced")
+                        # A higher-priority submission promotes the cell.
+                        for entry in index["pending"]:
+                            if entry[2] == digest:
+                                entry[0] = max(entry[0], priority)
+                    continue
+                # New cell (or resurrect a dead one for a fresh try).
+                record = {
+                    "digest": digest,
+                    "spec": spec_to_dict(spec),
+                    "priority": priority,
+                    "jobs": [job_id],
+                    "attempts": 0,
+                    "error": None,
+                    "created": now,
+                    "finished": None,
+                    "elapsed": None,
+                }
+                if is_warm is not None and is_warm(spec):
+                    record["finished"] = now
+                    index["states"][digest] = CELL_DONE
+                    warm += 1
+                    self._count(index, "warm_hits")
+                else:
+                    index["seq"] += 1
+                    index["pending"].append([priority, index["seq"], digest])
+                    index["states"][digest] = CELL_PENDING
+                    new += 1
+                _write_json(self._cell_path(digest), record)
+            _write_json(self._job_path(job_id), {
+                "id": job_id,
+                "label": label,
+                "priority": priority,
+                "digests": digests,
+                "created": now,
+                "cancelled": False,
+            })
+            self._count(index, "submitted_jobs")
+            self._save_index(index)
+        return SubmitReceipt(job_id, len(digests), new, coalesced, warm,
+                             duplicates)
+
+    # -- claiming ----------------------------------------------------------------
+    def claim(self, owner: str, max_cells: int = 1) -> List[Lease]:
+        """Lease up to *max_cells* pending cells to *owner*.
+
+        Expired leases are requeued first, so a dead worker's cells are
+        reclaimed by the next live claimer without a dedicated reaper.
+        Highest priority wins; FIFO within a priority.
+        """
+        now = self.clock()
+        leases: List[Lease] = []
+        with self._locked():
+            index = self._load_index()
+            self._reap_locked(index, now)
+            index["pending"].sort(key=lambda entry: (-entry[0], entry[1]))
+            while index["pending"] and len(leases) < max_cells:
+                _priority, _seq, digest = index["pending"].pop(0)
+                cell = _read_json(self._cell_path(digest))
+                if cell is None:  # orphaned index entry
+                    index["states"].pop(digest, None)
+                    continue
+                cell["attempts"] += 1
+                _write_json(self._cell_path(digest), cell)
+                expires = now + self.lease
+                index["leases"][digest] = {
+                    "owner": owner, "expires": expires,
+                    "attempt": cell["attempts"],
+                }
+                index["states"][digest] = CELL_LEASED
+                leases.append(Lease(digest, spec_from_dict(cell["spec"]),
+                                    cell["attempts"], expires))
+            if leases:
+                self._count(index, "claims", len(leases))
+            self._save_index(index)
+        return leases
+
+    def _reap_locked(self, index: Dict, now: float) -> int:
+        """Requeue expired leases (caller holds the lock)."""
+        requeued = 0
+        for digest, lease in list(index["leases"].items()):
+            if lease["expires"] > now:
+                continue
+            del index["leases"][digest]
+            cell = _read_json(self._cell_path(digest))
+            if cell is None:
+                index["states"].pop(digest, None)
+                continue
+            if cell["attempts"] >= self.max_attempts:
+                cell["error"] = (f"lease expired after attempt "
+                                 f"{cell['attempts']}/{self.max_attempts}")
+                cell["finished"] = now
+                _write_json(self._cell_path(digest), cell)
+                index["states"][digest] = CELL_DEAD
+                self._count(index, "dead")
+            else:
+                index["seq"] += 1
+                index["pending"].append([cell["priority"], index["seq"], digest])
+                index["states"][digest] = CELL_PENDING
+                self._count(index, "requeued")
+                requeued += 1
+        return requeued
+
+    def reap(self) -> int:
+        """Requeue every expired lease; returns how many moved."""
+        with self._locked():
+            index = self._load_index()
+            requeued = self._reap_locked(index, self.clock())
+            self._save_index(index)
+        return requeued
+
+    # -- settlement --------------------------------------------------------------
+    def _settle(self, digest: str, owner: str, state: str,
+                error: Optional[str], elapsed: Optional[float]) -> bool:
+        now = self.clock()
+        with self._locked():
+            index = self._load_index()
+            lease = index["leases"].get(digest)
+            if lease is None or lease["owner"] != owner:
+                # Stale worker: its lease expired and the cell moved on.
+                self._count(index, "stale_settlements")
+                self._save_index(index)
+                return False
+            del index["leases"][digest]
+            cell = _read_json(self._cell_path(digest))
+            if cell is None:
+                index["states"].pop(digest, None)
+                self._save_index(index)
+                return False
+            if state == CELL_DONE:
+                cell["error"] = None
+                cell["finished"] = now
+                cell["elapsed"] = elapsed
+                index["states"][digest] = CELL_DONE
+                self._count(index, "executed")
+            elif cell["attempts"] >= self.max_attempts:
+                cell["error"] = error
+                cell["finished"] = now
+                index["states"][digest] = CELL_DEAD
+                self._count(index, "dead")
+            else:
+                cell["error"] = error
+                index["seq"] += 1
+                index["pending"].append([cell["priority"], index["seq"], digest])
+                index["states"][digest] = CELL_PENDING
+                self._count(index, "requeued")
+            _write_json(self._cell_path(digest), cell)
+            self._save_index(index)
+        return True
+
+    def complete(self, digest: str, owner: str,
+                 elapsed: Optional[float] = None) -> bool:
+        """Mark a leased cell done.  False if *owner* lost the lease."""
+        return self._settle(digest, owner, CELL_DONE, None, elapsed)
+
+    def fail(self, digest: str, owner: str, error: str) -> bool:
+        """Report a cell failure; requeues until ``max_attempts``."""
+        return self._settle(digest, owner, CELL_PENDING, error, None)
+
+    # -- jobs --------------------------------------------------------------------
+    def job(self, job_id: str) -> Optional[Dict]:
+        """Status of one job: per-state cell counts + failed-cell detail."""
+        record = _read_json(self._job_path(job_id))
+        if record is None:
+            return None
+        index = self._load_index()
+        counts = {CELL_PENDING: 0, CELL_LEASED: 0, CELL_DONE: 0, CELL_DEAD: 0}
+        failed: List[Dict] = []
+        for digest in record["digests"]:
+            state = index["states"].get(digest, CELL_PENDING)
+            counts[state] = counts.get(state, 0) + 1
+            if state == CELL_DEAD:
+                cell = _read_json(self._cell_path(digest)) or {}
+                failed.append({"digest": digest,
+                               "spec": cell.get("spec"),
+                               "error": cell.get("error")})
+        total = len(record["digests"])
+        if record.get("cancelled"):
+            state = JOB_CANCELLED
+        elif counts[CELL_DEAD]:
+            state = (JOB_FAILED
+                     if counts[CELL_DONE] + counts[CELL_DEAD] == total
+                     else JOB_RUNNING)
+        elif counts[CELL_DONE] == total:
+            state = JOB_DONE
+        elif counts[CELL_LEASED] or counts[CELL_DONE]:
+            state = JOB_RUNNING
+        else:
+            state = JOB_PENDING
+        return {
+            "id": job_id,
+            "label": record.get("label", ""),
+            "priority": record.get("priority", 0),
+            "created": record.get("created"),
+            "state": state,
+            "total": total,
+            "done": counts[CELL_DONE],
+            "pending": counts[CELL_PENDING],
+            "leased": counts[CELL_LEASED],
+            "dead": counts[CELL_DEAD],
+            "failed_cells": failed,
+        }
+
+    def jobs(self) -> List[Dict]:
+        """Every known job, newest first."""
+        out = []
+        jobs_dir = self.root / "jobs"
+        if jobs_dir.is_dir():
+            for path in jobs_dir.glob("j-*.json"):
+                status = self.job(path.stem)
+                if status is not None:
+                    out.append(status)
+        out.sort(key=lambda j: j.get("created") or 0, reverse=True)
+        return out
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job; cells no other live job wants are dropped."""
+        with self._locked():
+            record = _read_json(self._job_path(job_id))
+            if record is None or record.get("cancelled"):
+                return False
+            record["cancelled"] = True
+            _write_json(self._job_path(job_id), record)
+            index = self._load_index()
+            for digest in record["digests"]:
+                cell = _read_json(self._cell_path(digest))
+                if cell is None:
+                    continue
+                if job_id in cell["jobs"]:
+                    cell["jobs"].remove(job_id)
+                _write_json(self._cell_path(digest), cell)
+                # Drop pending cells that no remaining job references.
+                # (Leased cells run to completion: their result is
+                # cached and harmless; done/dead cells keep their state.)
+                if not cell["jobs"] and \
+                        index["states"].get(digest) == CELL_PENDING:
+                    index["pending"] = [entry for entry in index["pending"]
+                                        if entry[2] != digest]
+                    index["states"].pop(digest, None)
+                    self._count(index, "dropped")
+            self._count(index, "cancelled_jobs")
+            self._save_index(index)
+        return True
+
+    # -- hosts -------------------------------------------------------------------
+    def heartbeat(self, host: str, workers: Optional[int] = None,
+                  meta: Optional[Dict] = None) -> None:
+        """Record that *host* is alive with *workers* worker processes.
+
+        ``workers=None`` is a pure liveness refresh (e.g. from a claim):
+        the last explicitly reported worker count is preserved.
+        """
+        if workers is None:
+            previous = _read_json(self._host_path(host))
+            workers = int((previous or {}).get("workers", 1))
+        payload = {"host": host, "workers": workers,
+                   "seen": self.clock()}
+        if meta:
+            payload["meta"] = meta
+        _write_json(self._host_path(host), payload)
+
+    def hosts(self, ttl: float = HOST_TTL) -> List[Dict]:
+        """Registered hosts; ``alive`` is heartbeat recency vs. *ttl*."""
+        now = self.clock()
+        out = []
+        hosts_dir = self.root / "hosts"
+        if hosts_dir.is_dir():
+            for path in sorted(hosts_dir.glob("*.json")):
+                record = _read_json(path)
+                if record is None:
+                    continue
+                record["alive"] = (now - record.get("seen", 0)) < ttl
+                out.append(record)
+        return out
+
+    # -- stats -------------------------------------------------------------------
+    def stats(self) -> Dict:
+        index = self._load_index()
+        states = index["states"].values()
+        by_state = {state: 0 for state in
+                    (CELL_PENDING, CELL_LEASED, CELL_DONE, CELL_DEAD)}
+        for state in states:
+            by_state[state] = by_state.get(state, 0) + 1
+        hosts = self.hosts()
+        return {
+            "root": str(self.root),
+            "cells": by_state,
+            "pending_queue": len(index["pending"]),
+            "active_leases": len(index["leases"]),
+            "counters": dict(index["counters"]),
+            "hosts": hosts,
+            "alive_hosts": sum(1 for h in hosts if h["alive"]),
+        }

@@ -1,0 +1,107 @@
+"""Remote sweep resolution: route cold cells through a running service.
+
+``repro figure all --remote`` (and any other sweep) can hand its cold
+specs to the shared service instead of forking local workers: the specs
+are submitted as one job, watched to completion, and the results pulled
+back — from the local store when the client shares the coordinator's
+filesystem (the common case: every put lands there), otherwise over the
+``fetch`` op.  A warm service answers the whole sweep without a single
+local simulation; that is the "millions of users hit a warm cache"
+serving path.
+
+The hook is deliberately failure-transparent: if no service is
+reachable the sweep falls back to the local scheduler, and a service
+that dies mid-sweep only costs the cells it had not finished.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional, Tuple
+
+from ..harness.scheduler import CellFailure, run_specs
+from ..harness.spec import Spec, spec_digest, spec_to_dict
+from ..harness.store import ResultStore
+from ..harness.sweep import set_remote_resolver
+from ..harness.serialize import decode_result
+from .api import ServiceClient, ServiceError, ServiceUnavailable
+
+
+def remote_resolver(client: ServiceClient,
+                    store: Optional[ResultStore] = None,
+                    label: str = "sweep", priority: int = 0,
+                    interval: float = 0.2):
+    """A ``sweep``-layer resolver bound to *client*.
+
+    Matches the :func:`repro.harness.scheduler.run_specs` contract:
+    ``resolver(cold_specs, progress) -> (results, failures)``.
+    """
+    store = store or ResultStore()
+
+    def resolve(cold: List[Spec], progress) -> Tuple[list, List[CellFailure]]:
+        try:
+            receipt = client.submit([spec_to_dict(spec) for spec in cold],
+                                    priority=priority, label=label)
+            final = client.wait(receipt["job"], interval=interval)
+        except (ServiceError, OSError) as exc:
+            print(f"remote sweep failed ({exc}); running locally",
+                  file=sys.stderr)
+            return run_specs(cold, progress=progress)
+
+        failed_digests = {cell["digest"]: cell.get("error") or "cell failed"
+                          for cell in final.get("failed_cells", [])}
+        results = []
+        failures: List[CellFailure] = []
+        started = time.monotonic()
+        for spec in cold:
+            digest = spec_digest(spec)
+            if digest in failed_digests:
+                error = f"remote: {failed_digests[digest]}"
+                progress.fail(spec, error)
+                failures.append(CellFailure(spec, error, attempts=1))
+                continue
+            result = store.get(spec)
+            if result is None:
+                # No shared filesystem with the coordinator: pull the
+                # encoded payload over the wire (and cache it locally).
+                try:
+                    payload = client.fetch(spec_to_dict(spec))
+                except (ServiceError, OSError):
+                    payload = None
+                if payload is None:
+                    error = "remote: job done but result unavailable"
+                    progress.fail(spec, error)
+                    failures.append(CellFailure(spec, error, attempts=1))
+                    continue
+                result = decode_result(payload)
+                store.put(spec, result)
+            results.append((spec, result))
+            progress.done(spec, time.monotonic() - started)
+            started = time.monotonic()
+        return results, failures
+
+    return resolve
+
+
+def use_remote(addr: Optional[str] = None,
+               store: Optional[ResultStore] = None,
+               label: str = "sweep") -> Optional[ServiceClient]:
+    """Install the remote resolver if a service answers at *addr*.
+
+    Returns the connected client, or None (resolver untouched) when no
+    service is reachable — callers fall back to local execution.
+    """
+    client = ServiceClient(addr)
+    try:
+        client.ping()
+    except ServiceUnavailable:
+        return None
+    except ServiceError:
+        return None
+    set_remote_resolver(remote_resolver(client, store=store, label=label))
+    return client
+
+
+def clear_remote() -> None:
+    set_remote_resolver(None)

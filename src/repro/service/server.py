@@ -1,0 +1,299 @@
+"""The sweep service coordinator: socket server + reaper + worker pool.
+
+``repro serve`` runs one :class:`SweepService` per host.  The service
+owns the durable :class:`~repro.service.queue.JobQueue` and the shared
+:class:`~repro.harness.store.ResultStore`; clients and workers talk the
+line-JSON protocol of :mod:`repro.service.api`.
+
+Division of labour:
+
+* **submit** checks the store first (``store.contains``) so cells whose
+  result already exists under the current code fingerprint complete
+  instantly — a warm resubmission never touches a worker;
+* **claim/complete/fail** drive the queue's lease protocol; completed
+  results are written through the store *here*, on the coordinator, so
+  remote workers need no shared filesystem and the store's lifetime
+  ``puts`` counter counts executions exactly once per cell;
+* a background **reaper** thread requeues expired leases even when no
+  worker is claiming (a lone dead worker cannot stall a job forever);
+* ``repro serve --workers N`` forks N local worker processes that
+  connect back over the same socket protocol as remote ones — one code
+  path, exercised everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..harness.serialize import decode_result
+from ..harness.spec import spec_from_dict
+from ..harness.store import ResultStore, code_fingerprint
+from .queue import DEFAULT_LEASE, JOB_CANCELLED, JOB_DONE, JOB_FAILED, JobQueue
+
+TERMINAL_JOB_STATES = (JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+
+#: Fastest/slowest a watch loop may poll, whatever the client asks.
+WATCH_INTERVAL_MIN = 0.05
+WATCH_INTERVAL_MAX = 5.0
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read one request line, answer, hang up."""
+
+    def handle(self) -> None:
+        service: "SweepService" = self.server.service  # type: ignore[attr-defined]
+        try:
+            line = self.rfile.readline()
+        except OSError:
+            return
+        if not line.strip():
+            return
+        try:
+            request = json.loads(line)
+            op = request.get("op")
+            handler = service.ops.get(op)
+            if handler is None:
+                self._reply({"ok": False, "error": f"unknown op {op!r}"})
+                return
+            handler(request, self._reply)
+        except Exception as exc:  # one bad request must not kill the server
+            try:
+                self._reply({"ok": False,
+                             "error": f"{type(exc).__name__}: {exc}"})
+            except OSError:
+                pass
+
+    def _reply(self, payload: Dict) -> None:
+        self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self.wfile.flush()
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class SweepService:
+    """Queue + store behind a line-JSON TCP socket."""
+
+    def __init__(self, queue: Optional[JobQueue] = None,
+                 store: Optional[ResultStore] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 lease: float = DEFAULT_LEASE):
+        self.queue = queue or JobQueue(lease=lease)
+        self.store = store or ResultStore()
+        self.server = _Server((host, port), _Handler)
+        self.server.service = self  # type: ignore[attr-defined]
+        self.ops = {
+            "ping": self._op_ping,
+            "submit": self._op_submit,
+            "status": self._op_status,
+            "watch": self._op_watch,
+            "cancel": self._op_cancel,
+            "fetch": self._op_fetch,
+            "stats": self._op_stats,
+            "claim": self._op_claim,
+            "complete": self._op_complete,
+            "fail": self._op_fail,
+            "heartbeat": self._op_heartbeat,
+            "shutdown": self._op_shutdown,
+        }
+        self._threads = []
+        self._stopping = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        host, port = self.server.server_address[:2]
+        return f"{host}:{port}"
+
+    def start(self, reaper_interval: Optional[float] = None) -> None:
+        """Serve + reap in background threads (returns immediately)."""
+        serve = threading.Thread(target=self.server.serve_forever,
+                                 name="repro-serve", daemon=True)
+        serve.start()
+        self._threads.append(serve)
+        if reaper_interval is None:
+            reaper_interval = max(self.queue.lease / 4.0, 0.05)
+        reaper = threading.Thread(target=self._reap_loop,
+                                  args=(reaper_interval,),
+                                  name="repro-reaper", daemon=True)
+        reaper.start()
+        self._threads.append(reaper)
+
+    def stop(self) -> None:
+        self._stopping.set()
+        self.server.shutdown()
+        self.server.server_close()
+
+    def wait(self) -> None:
+        """Block until :meth:`stop` (the ``repro serve`` foreground)."""
+        self._stopping.wait()
+
+    def _reap_loop(self, interval: float) -> None:
+        while not self._stopping.wait(interval):
+            try:
+                self.queue.reap()
+            except Exception:
+                pass  # the reaper must outlive any transient queue error
+
+    # -- operations --------------------------------------------------------------
+    def _op_ping(self, request: Dict, reply) -> None:
+        reply({"ok": True, "service": "repro", "address": self.address,
+               "fingerprint": self.store.fingerprint[:16]})
+
+    def _op_submit(self, request: Dict, reply) -> None:
+        specs = [spec_from_dict(data) for data in request.get("specs", [])]
+        if not specs:
+            reply({"ok": False, "error": "submit with no specs"})
+            return
+        receipt = self.queue.submit(
+            specs,
+            priority=int(request.get("priority", 0)),
+            label=str(request.get("label", "")),
+            is_warm=self.store.contains,
+        )
+        reply({"ok": True, **receipt.to_dict()})
+
+    def _op_status(self, request: Dict, reply) -> None:
+        job_id = request.get("job")
+        if job_id is None:
+            reply({"ok": True, "jobs": self.queue.jobs(),
+                   "stats": self.queue.stats()})
+            return
+        status = self.queue.job(job_id)
+        if status is None:
+            reply({"ok": False, "error": f"unknown job {job_id!r}"})
+            return
+        reply({"ok": True, "job": status})
+
+    def _op_watch(self, request: Dict, reply) -> None:
+        job_id = request.get("job")
+        interval = min(max(float(request.get("interval", 0.2)),
+                           WATCH_INTERVAL_MIN), WATCH_INTERVAL_MAX)
+        status = self.queue.job(job_id)
+        if status is None:
+            reply({"ok": False, "error": f"unknown job {job_id!r}"})
+            return
+        while True:
+            terminal = status["state"] in TERMINAL_JOB_STATES
+            reply({"ok": True,
+                   "event": "done" if terminal else "progress",
+                   "job": status})
+            if terminal or self._stopping.is_set():
+                return
+            time.sleep(interval)
+            status = self.queue.job(job_id)
+            if status is None:  # job file vanished mid-watch
+                reply({"ok": False, "error": f"job {job_id!r} disappeared"})
+                return
+
+    def _op_cancel(self, request: Dict, reply) -> None:
+        reply({"ok": True,
+               "cancelled": self.queue.cancel(request.get("job", ""))})
+
+    def _op_fetch(self, request: Dict, reply) -> None:
+        spec = spec_from_dict(request["spec"])
+        path = self.store.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())["result"]
+        except (OSError, ValueError, KeyError):
+            reply({"ok": True, "result": None})
+            return
+        reply({"ok": True, "result": payload,
+               "elapsed": None})
+
+    def _op_stats(self, request: Dict, reply) -> None:
+        reply({"ok": True, "queue": self.queue.stats(),
+               "store": self.store.info()})
+
+    def _op_claim(self, request: Dict, reply) -> None:
+        owner = request.get("owner") or "anonymous"
+        host = request.get("host")
+        if host:
+            self.queue.heartbeat(host)
+        leases = self.queue.claim(owner,
+                                  max_cells=int(request.get("max", 1)))
+        reply({"ok": True, "cells": [lease.to_dict() for lease in leases]})
+
+    def _op_complete(self, request: Dict, reply) -> None:
+        owner = request["owner"]
+        digest = request["digest"]
+        spec_data = None
+        cell = self.queue._cell_path(digest)  # read-only peek for the spec
+        try:
+            spec_data = json.loads(cell.read_text())["spec"]
+        except (OSError, ValueError, KeyError):
+            pass
+        accepted = False
+        if spec_data is not None:
+            spec = spec_from_dict(spec_data)
+            # Write-through first (see LocalBackend.complete for why).
+            self.store.put(spec, decode_result(request["result"]),
+                           request.get("elapsed"))
+            accepted = self.queue.complete(digest, owner,
+                                           request.get("elapsed"))
+        reply({"ok": True, "accepted": accepted})
+
+    def _op_fail(self, request: Dict, reply) -> None:
+        accepted = self.queue.fail(request["digest"], request["owner"],
+                                   str(request.get("error", "worker error")))
+        reply({"ok": True, "accepted": accepted})
+
+    def _op_heartbeat(self, request: Dict, reply) -> None:
+        self.queue.heartbeat(str(request.get("host", "unknown")),
+                             workers=int(request.get("workers", 1)))
+        reply({"ok": True})
+
+    def _op_shutdown(self, request: Dict, reply) -> None:
+        reply({"ok": True})
+        threading.Thread(target=self.stop, daemon=True).start()
+
+
+def run_service(host: str = "127.0.0.1", port: int = 0,
+                workers: int = 0,
+                queue_root: Optional[Path] = None,
+                store_root: Optional[Path] = None,
+                lease: float = DEFAULT_LEASE,
+                announce=print) -> int:
+    """``repro serve``: coordinator + N local workers, until interrupted."""
+    import signal
+
+    # SIGTERM's default action would skip the finally block below and
+    # orphan the forked worker pool; route it through KeyboardInterrupt
+    # so `kill <serve-pid>` (CI, process managers) shuts down cleanly.
+    def _on_sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+    queue = JobQueue(root=queue_root, lease=lease)
+    store = ResultStore(root=store_root)
+    service = SweepService(queue=queue, store=store, host=host, port=port,
+                           lease=lease)
+    service.start()
+    announce(f"repro service on {service.address} "
+             f"(queue {queue.root}, store {store.root}, "
+             f"fingerprint {code_fingerprint()[:16]})")
+    processes = []
+    if workers:
+        from .worker import spawn_workers
+
+        processes = spawn_workers(service.address, workers)
+        announce(f"started {workers} local worker process(es)")
+    try:
+        service.wait()
+    except KeyboardInterrupt:
+        announce("repro service: shutting down")
+    finally:
+        service.stop()
+        for process in processes:
+            process.terminate()
+        for process in processes:
+            process.join(2.0)
+        signal.signal(signal.SIGTERM, previous_sigterm)
+    return 0

@@ -1,0 +1,199 @@
+"""Worker pools: claim leased cells, execute, write through the store.
+
+A worker is a loop around the queue's lease protocol: claim a batch,
+execute each spec through the harness's :func:`execute_spec` (the same
+code path the local scheduler forks), report the encoded result back,
+repeat.  Two transports implement the same small backend interface:
+
+* :class:`LocalBackend` — direct :class:`~repro.service.queue.JobQueue`
+  + :class:`~repro.harness.store.ResultStore` access for workers on the
+  coordinator host (and for tests);
+* :class:`RemoteBackend` — the socket protocol of
+  :class:`~repro.service.api.ServiceClient`, for workers on *other*
+  hosts (``repro work --addr coordinator:port``).  Results ride inside
+  ``complete``, so remote hosts need no shared filesystem.
+
+Worker death is survived by construction: a killed worker's leases
+expire and the queue requeues its cells; a worker whose lease expired
+mid-run gets its late ``complete`` rejected (the cell already moved
+on) and simply claims fresh work.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import uuid
+from typing import Callable, Dict, List, Optional
+
+from ..harness.jobs import execute_spec
+from ..harness.serialize import decode_result, encode_result
+from ..harness.spec import spec_from_dict
+from ..harness.store import ResultStore
+from .queue import JobQueue, Lease
+
+#: Seconds an idle worker sleeps between empty claims.
+DEFAULT_POLL = 0.25
+#: Cells leased per claim round; >1 amortizes queue-lock traffic.
+DEFAULT_BATCH = 2
+#: Seconds between host heartbeats.
+HEARTBEAT_EVERY = 5.0
+
+
+def default_host_id() -> str:
+    return socket.gethostname() or "localhost"
+
+
+def make_owner(host: Optional[str] = None) -> str:
+    """A lease-owner identity unique per worker process incarnation."""
+    return (f"{host or default_host_id()}/pid{os.getpid()}/"
+            f"{uuid.uuid4().hex[:6]}")
+
+
+class LocalBackend:
+    """Direct queue + store access (coordinator-host workers, tests)."""
+
+    def __init__(self, queue: JobQueue, store: ResultStore,
+                 host: Optional[str] = None, workers: int = 1):
+        self.queue = queue
+        self.store = store
+        self.host = host or default_host_id()
+        self.workers = workers
+
+    def claim(self, owner: str, max_cells: int) -> List[Lease]:
+        return self.queue.claim(owner, max_cells=max_cells)
+
+    def complete(self, owner: str, lease: Lease, payload: Dict,
+                 elapsed: float) -> bool:
+        # Publish the result before surrendering the lease: a requeue
+        # between put and complete only costs a redundant execution,
+        # while the reverse order could mark a cell done with no result.
+        self.store.put(lease.spec, decode_result(payload), elapsed)
+        return self.queue.complete(lease.digest, owner, elapsed)
+
+    def fail(self, owner: str, lease: Lease, error: str) -> bool:
+        return self.queue.fail(lease.digest, owner, error)
+
+    def heartbeat(self) -> None:
+        self.queue.heartbeat(self.host, workers=self.workers)
+
+
+class RemoteBackend:
+    """Socket-protocol access for workers on other hosts."""
+
+    def __init__(self, client, host: Optional[str] = None, workers: int = 1):
+        self.client = client
+        self.host = host or default_host_id()
+        self.workers = workers
+
+    def claim(self, owner: str, max_cells: int) -> List[Lease]:
+        return [Lease.from_dict(cell)
+                for cell in self.client.claim(owner, self.host, max_cells)]
+
+    def complete(self, owner: str, lease: Lease, payload: Dict,
+                 elapsed: float) -> bool:
+        return self.client.complete(owner, lease.digest, payload, elapsed)
+
+    def fail(self, owner: str, lease: Lease, error: str) -> bool:
+        return self.client.fail(owner, lease.digest, error)
+
+    def heartbeat(self) -> None:
+        self.client.heartbeat(self.host, workers=self.workers)
+
+
+def run_one(lease: Lease, executor: Callable = execute_spec) -> Dict:
+    """Execute one leased cell; returns the encoded result payload."""
+    return encode_result(executor(lease.spec))
+
+
+def worker_loop(backend, owner: Optional[str] = None,
+                executor: Callable = execute_spec,
+                poll: float = DEFAULT_POLL,
+                batch: int = DEFAULT_BATCH,
+                stop: Optional[Callable[[], bool]] = None,
+                max_cells: Optional[int] = None) -> int:
+    """Pull-execute-report until *stop* says so; returns cells executed.
+
+    *stop* is polled between cells (a worker never abandons a cell it
+    started); *max_cells* bounds the loop for tests and drain runs.
+    """
+    owner = owner or make_owner(getattr(backend, "host", None))
+    executed = 0
+    last_beat = 0.0
+    while not (stop and stop()):
+        now = time.monotonic()
+        if now - last_beat >= HEARTBEAT_EVERY or last_beat == 0.0:
+            try:
+                backend.heartbeat()
+            except Exception:
+                pass  # a missed heartbeat must not kill the worker
+            last_beat = now
+        try:
+            leases = backend.claim(owner, batch)
+        except Exception:
+            # Coordinator briefly unreachable: back off, try again.
+            time.sleep(poll)
+            continue
+        if not leases:
+            if max_cells is not None and executed >= max_cells:
+                break
+            time.sleep(poll)
+            continue
+        for lease in leases:
+            started = time.monotonic()
+            try:
+                payload = run_one(lease, executor)
+            except Exception as exc:
+                try:
+                    backend.fail(owner, lease,
+                                 f"{type(exc).__name__}: {exc}")
+                except Exception:
+                    pass
+                continue
+            elapsed = time.monotonic() - started
+            try:
+                backend.complete(owner, lease, payload, elapsed)
+            except Exception:
+                # The lease may have expired mid-run; the requeued cell
+                # will be re-executed by someone holding a live lease.
+                pass
+            executed += 1
+            if max_cells is not None and executed >= max_cells:
+                return executed
+        if stop and stop():
+            break
+    return executed
+
+
+def remote_worker_main(addr: str, host: Optional[str] = None,
+                       workers: int = 1) -> int:
+    """Entry point for one remote worker process (``repro work``)."""
+    import signal
+    import sys
+
+    from .api import ServiceClient
+
+    # Forked pool workers inherit the coordinator's SIGTERM handler
+    # (which raises KeyboardInterrupt); exit quietly on terminate
+    # instead of unwinding with a traceback.
+    signal.signal(signal.SIGTERM, lambda signum, frame: sys.exit(0))
+    backend = RemoteBackend(ServiceClient(addr), host=host, workers=workers)
+    return worker_loop(backend)
+
+
+def spawn_workers(addr: str, count: int, host: Optional[str] = None):
+    """Fork *count* worker processes against *addr*; returns them."""
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - exotic platforms
+        context = multiprocessing.get_context()
+    processes = []
+    for _ in range(count):
+        process = context.Process(
+            target=remote_worker_main, args=(addr, host, count), daemon=True)
+        process.start()
+        processes.append(process)
+    return processes

@@ -1,0 +1,291 @@
+"""JobQueue: leases, requeue, dedup/coalescing, priorities, durability."""
+
+import pytest
+
+from repro.harness import CellSpec, ResultStore, spec_digest
+from repro.service import DEFAULT_MAX_ATTEMPTS, JobQueue
+from repro.service.queue import (
+    CELL_DEAD,
+    CELL_DONE,
+    CELL_LEASED,
+    CELL_PENDING,
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_PENDING,
+    JOB_RUNNING,
+)
+
+
+def spec(scheme="atr", rf=64, n=500):
+    return CellSpec("505.mcf_r", rf, scheme, n)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(tmp_path, clock):
+    return JobQueue(root=tmp_path / "q", lease=60.0, clock=clock)
+
+
+def test_submit_claim_complete_done(queue):
+    receipt = queue.submit([spec("atr"), spec("baseline")], label="t")
+    assert (receipt.total, receipt.new) == (2, 2)
+    assert queue.job(receipt.job_id)["state"] == JOB_PENDING
+
+    leases = queue.claim("w1", max_cells=10)
+    assert len(leases) == 2
+    assert {lease.spec.scheme for lease in leases} == {"atr", "baseline"}
+    assert queue.job(receipt.job_id)["state"] == JOB_RUNNING
+
+    for lease in leases:
+        assert queue.complete(lease.digest, "w1", elapsed=0.5)
+    status = queue.job(receipt.job_id)
+    assert status["state"] == JOB_DONE
+    assert status["done"] == 2
+
+
+def test_duplicate_specs_within_one_submission_collapse(queue):
+    receipt = queue.submit([spec(), spec(), spec()])
+    assert receipt.total == 1
+    assert receipt.duplicates == 2
+    assert len(queue.claim("w", max_cells=10)) == 1
+
+
+def test_concurrent_jobs_coalesce_one_execution(queue):
+    first = queue.submit([spec("atr"), spec("baseline")])
+    second = queue.submit([spec("atr"), spec("combined")])
+    assert second.coalesced == 1  # the shared atr cell
+    assert second.new == 1
+
+    # Three unique cells total — the shared one exists once.
+    leases = queue.claim("w", max_cells=10)
+    assert len(leases) == 3
+    for lease in leases:
+        queue.complete(lease.digest, "w")
+    assert queue.job(first.job_id)["state"] == JOB_DONE
+    assert queue.job(second.job_id)["state"] == JOB_DONE
+
+
+def test_warm_cells_complete_without_executing(queue):
+    warm_digest = spec_digest(spec("atr"))
+
+    receipt = queue.submit(
+        [spec("atr"), spec("baseline")],
+        is_warm=lambda s: spec_digest(s) == warm_digest)
+    assert receipt.warm == 1
+    assert receipt.new == 1
+    # Only the cold cell is claimable.
+    leases = queue.claim("w", max_cells=10)
+    assert len(leases) == 1
+    assert leases[0].spec.scheme == "baseline"
+
+
+def test_lease_expiry_requeues_cell(queue, clock):
+    receipt = queue.submit([spec()])
+    (lease,) = queue.claim("doomed")
+    assert queue.claim("other") == []  # leased: nothing to claim
+
+    clock.advance(61.0)  # past the lease deadline
+    (release,) = queue.claim("other")
+    assert release.digest == lease.digest
+    assert release.attempt == 2
+    # The dead worker's late completion is rejected...
+    assert not queue.complete(lease.digest, "doomed")
+    # ...while the live lease settles normally.
+    assert queue.complete(release.digest, "other")
+    assert queue.job(receipt.job_id)["state"] == JOB_DONE
+
+
+def test_reap_requeues_without_a_claimer(queue, clock):
+    queue.submit([spec()])
+    queue.claim("doomed")
+    assert queue.reap() == 0  # lease still live
+    clock.advance(61.0)
+    assert queue.reap() == 1
+    assert queue.stats()["cells"][CELL_PENDING] == 1
+
+
+def test_cell_dies_after_max_attempts(queue, clock):
+    receipt = queue.submit([spec()])
+    for attempt in range(1, DEFAULT_MAX_ATTEMPTS + 1):
+        (lease,) = queue.claim(f"w{attempt}")
+        assert lease.attempt == attempt
+        clock.advance(61.0)
+    assert queue.claim("w-final") == []  # dead, not requeued
+    status = queue.job(receipt.job_id)
+    assert status["state"] == JOB_FAILED
+    assert status["dead"] == 1
+    assert "lease expired" in status["failed_cells"][0]["error"]
+
+
+def test_explicit_failures_requeue_then_kill(queue):
+    receipt = queue.submit([spec()])
+    for attempt in range(1, DEFAULT_MAX_ATTEMPTS + 1):
+        (lease,) = queue.claim("w")
+        assert queue.fail(lease.digest, "w", f"boom {attempt}")
+    status = queue.job(receipt.job_id)
+    assert status["state"] == JOB_FAILED
+    assert status["failed_cells"][0]["error"] == "boom 3"
+
+
+def test_priority_orders_claims(queue):
+    queue.submit([spec("baseline")], priority=0)
+    queue.submit([spec("atr")], priority=5)
+    queue.submit([spec("combined")], priority=1)
+    order = [queue.claim("w")[0].spec.scheme for _ in range(3)]
+    assert order == ["atr", "combined", "baseline"]
+
+
+def test_coalescing_promotes_priority(queue):
+    queue.submit([spec("baseline")], priority=0)
+    queue.submit([spec("atr")], priority=0)
+    # A high-priority submission of the baseline cell jumps the queue.
+    queue.submit([spec("baseline")], priority=9)
+    assert queue.claim("w")[0].spec.scheme == "baseline"
+
+
+def test_cancel_drops_exclusive_pending_cells(queue):
+    shared = queue.submit([spec("atr")])
+    doomed = queue.submit([spec("atr"), spec("baseline")])
+    assert queue.cancel(doomed.job_id)
+    assert queue.job(doomed.job_id)["state"] == JOB_CANCELLED
+    assert not queue.cancel(doomed.job_id)  # idempotent-ish: already gone
+
+    # The shared atr cell survives (job 1 still wants it); the baseline
+    # cell was exclusively doomed's and is dropped.
+    leases = queue.claim("w", max_cells=10)
+    assert [lease.spec.scheme for lease in leases] == ["atr"]
+    queue.complete(leases[0].digest, "w")
+    assert queue.job(shared.job_id)["state"] == JOB_DONE
+
+
+def test_queue_state_survives_reopen(tmp_path, clock):
+    first = JobQueue(root=tmp_path / "q", lease=60.0, clock=clock)
+    receipt = first.submit([spec("atr"), spec("baseline")], label="durable")
+    first.claim("w1")
+
+    # A brand-new JobQueue over the same directory sees everything.
+    second = JobQueue(root=tmp_path / "q", lease=60.0, clock=clock)
+    status = second.job(receipt.job_id)
+    assert status["label"] == "durable"
+    assert status["leased"] == 1
+    assert status["pending"] == 1
+    stats = second.stats()
+    assert stats["cells"][CELL_LEASED] == 1
+    assert stats["cells"][CELL_PENDING] == 1
+
+
+def test_hosts_heartbeat_and_ttl(queue, clock):
+    queue.heartbeat("alpha", workers=8)
+    queue.heartbeat("beta", workers=2)
+    hosts = {h["host"]: h for h in queue.hosts()}
+    assert hosts["alpha"]["workers"] == 8
+    assert all(h["alive"] for h in hosts.values())
+
+    clock.advance(31.0)
+    queue.heartbeat("beta", workers=2)
+    hosts = {h["host"]: h for h in queue.hosts()}
+    assert not hosts["alpha"]["alive"]
+    assert hosts["beta"]["alive"]
+    assert queue.stats()["alive_hosts"] == 1
+
+
+def test_liveness_refresh_preserves_worker_count(queue, clock):
+    """A claim-side heartbeat (no explicit count) must not clobber the
+    pool size the worker reported."""
+    queue.heartbeat("alpha", workers=8)
+    clock.advance(1.0)
+    queue.heartbeat("alpha")  # liveness-only refresh
+    host = {h["host"]: h for h in queue.hosts()}["alpha"]
+    assert host["workers"] == 8
+    assert host["seen"] == clock.now
+    queue.heartbeat("fresh")  # never reported: defaults to 1
+    assert {h["host"]: h for h in queue.hosts()}["fresh"]["workers"] == 1
+
+
+def test_stats_counters_track_lifecycle(queue, clock):
+    queue.submit([spec("atr"), spec("baseline")])
+    queue.submit([spec("atr")])  # coalesces
+    (lease, _other) = queue.claim("w", max_cells=2)
+    queue.complete(lease.digest, "w")
+    clock.advance(61.0)
+    queue.reap()  # the other lease expires
+
+    counters = queue.stats()["counters"]
+    assert counters["submitted_jobs"] == 2
+    assert counters["coalesced"] == 1
+    assert counters["executed"] == 1
+    assert counters["requeued"] == 1
+
+
+def test_done_cells_count_as_warm_for_later_jobs(queue):
+    queue.submit([spec()])
+    (lease,) = queue.claim("w")
+    queue.complete(lease.digest, "w")
+    # A later job referencing the done cell is born complete.
+    receipt = queue.submit([spec()])
+    assert receipt.warm == 1
+    assert queue.job(receipt.job_id)["state"] == JOB_DONE
+    assert queue.stats()["cells"][CELL_DONE] == 1
+
+
+def test_store_backed_warm_check(tmp_path, queue):
+    """The server wires ``is_warm=store.contains``: anything already in
+    the store under the current fingerprint never enters the queue."""
+    store = ResultStore(root=tmp_path / "store", fingerprint="d" * 64)
+    store.put(spec("atr"), {"cached": True})
+    receipt = queue.submit([spec("atr"), spec("baseline")],
+                           is_warm=store.contains)
+    assert receipt.warm == 1
+    assert receipt.new == 1
+    assert queue.stats()["cells"][CELL_DONE] == 1
+
+
+def test_stale_done_cell_reruns_when_store_lost_the_result(tmp_path, queue):
+    """Queue done-ness is only trusted while the store still holds the
+    result: after `cache gc` (or a code-fingerprint change) a resubmit
+    re-executes instead of reporting a warm cell with no data."""
+    store = ResultStore(root=tmp_path / "store", fingerprint="d" * 64)
+    queue.submit([spec()])
+    (lease,) = queue.claim("w")
+    store.put(lease.spec, {"real": True})
+    queue.complete(lease.digest, "w")
+    # While the store holds the result, resubmission is warm.
+    assert queue.submit([spec()], is_warm=store.contains).warm == 1
+
+    store.clear()  # cache gc wiped the entry; queue still says done
+    receipt = queue.submit([spec()], is_warm=store.contains)
+    assert receipt.warm == 0
+    assert receipt.new == 1
+    assert queue.stats()["cells"][CELL_PENDING] == 1
+
+
+def test_dead_cell_resubmission_gets_fresh_attempts(queue, clock):
+    """A cell that died can be resubmitted by a new job and runs again."""
+    queue.submit([spec()])
+    for _ in range(DEFAULT_MAX_ATTEMPTS):
+        (lease,) = queue.claim("w")
+        queue.fail(lease.digest, "w", "boom")
+    assert queue.stats()["cells"][CELL_DEAD] == 1
+
+    retry = queue.submit([spec()])
+    assert retry.new == 1  # resurrected, not coalesced with the corpse
+    (lease,) = queue.claim("w2")
+    assert lease.attempt == 1
+    queue.complete(lease.digest, "w2")
+    assert queue.job(retry.job_id)["state"] == JOB_DONE

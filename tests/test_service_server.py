@@ -1,0 +1,316 @@
+"""End-to-end service tests: socket API, workers, dedup, crash recovery.
+
+These run a real :class:`SweepService` on a loopback socket with the
+real wire protocol; workers use a fake executor (raw payloads) so the
+scenarios — coalescing, lease-expiry requeue, warm resubmission — are
+exercised in milliseconds instead of simulation-minutes.  One smoke
+test at the bottom drives a genuine simulation cell through the full
+stack.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.harness import CellSpec, ResultStore, spec_to_dict, sweep
+from repro.harness.sweep import set_remote_resolver
+from repro.service import (
+    JobQueue,
+    RemoteBackend,
+    ServiceClient,
+    ServiceError,
+    SweepService,
+    remote_resolver,
+    use_remote,
+    worker_loop,
+)
+
+BENCH = "505.mcf_r"
+
+
+def spec(scheme="atr", rf=64, n=500):
+    return CellSpec(BENCH, rf, scheme, n)
+
+
+def sixteen_cells():
+    return [CellSpec(BENCH, rf, scheme, 500)
+            for rf in (40, 52, 64, 128)
+            for scheme in ("baseline", "nonspec_er", "atr", "combined")]
+
+
+def fake_executor(cell_spec):
+    return {"benchmark": cell_spec.benchmark, "scheme": cell_spec.scheme,
+            "rf": cell_spec.rf_size}
+
+
+class ServiceFixture:
+    def __init__(self, tmp_path, lease=0.6):
+        self.store = ResultStore(root=tmp_path / "store")
+        self.queue = JobQueue(root=tmp_path / "queue", lease=lease)
+        self.service = SweepService(queue=self.queue, store=self.store,
+                                    port=0)
+        self.service.start(reaper_interval=0.1)
+        self.client = ServiceClient(self.service.address)
+        self._stop = threading.Event()
+        self._threads = []
+
+    def start_worker(self, executor=fake_executor, host="w"):
+        backend = RemoteBackend(ServiceClient(self.service.address),
+                                host=host)
+        thread = threading.Thread(
+            target=worker_loop,
+            kwargs=dict(backend=backend, executor=executor, poll=0.05,
+                        stop=self._stop.is_set),
+            daemon=True)
+        thread.start()
+        self._threads.append(thread)
+        return thread
+
+    def close(self):
+        self._stop.set()
+        self.service.stop()
+        for thread in self._threads:
+            thread.join(5)
+
+
+@pytest.fixture
+def svc(tmp_path):
+    fixture = ServiceFixture(tmp_path)
+    yield fixture
+    fixture.close()
+
+
+def submit(svc, specs, **kwargs):
+    return svc.client.submit([spec_to_dict(s) for s in specs], **kwargs)
+
+
+def test_ping_reports_fingerprint(svc):
+    reply = svc.client.ping()
+    assert reply["service"] == "repro"
+    assert reply["fingerprint"] == svc.store.fingerprint[:16]
+
+
+def test_submit_execute_watch_done(svc):
+    svc.start_worker()
+    receipt = submit(svc, [spec("atr"), spec("baseline")], label="e2e")
+    assert receipt["new"] == 2
+    final = svc.client.wait(receipt["job"])
+    assert final["state"] == "done"
+    assert final["done"] == 2
+    # Results were written through the shared store by the coordinator.
+    assert svc.store.get(spec("atr")) == {
+        "benchmark": BENCH, "scheme": "atr", "rf": 64}
+
+
+def test_watch_streams_progress_then_done(svc):
+    svc.start_worker()
+    receipt = submit(svc, sixteen_cells())
+    events = list(svc.client.watch(receipt["job"], interval=0.05))
+    assert events[-1]["event"] == "done"
+    assert events[-1]["job"]["done"] == 16
+    assert all(e["event"] in ("progress", "done") for e in events)
+
+
+def test_concurrent_identical_submissions_execute_each_cell_once(svc):
+    """The acceptance demo: two concurrent submissions of the same
+    16-cell sweep perform each cell exactly once — proven through the
+    store's lifetime put counter."""
+    cells = sixteen_cells()
+    receipts = [None, None]
+
+    def submit_one(slot):
+        receipts[slot] = submit(svc, cells, label=f"client{slot}")
+
+    threads = [threading.Thread(target=submit_one, args=(slot,))
+               for slot in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(10)
+
+    svc.start_worker()
+    for receipt in receipts:
+        final = svc.client.wait(receipt["job"])
+        assert final["state"] == "done"
+        assert final["done"] == 16
+
+    # Exactly one execution per unique cell, no matter how the two
+    # submissions interleaved (16 puts, not 32).
+    assert svc.store.info()["counters"]["lifetime"]["puts"] == 16
+    overlap = (receipts[0]["new"] + receipts[1]["new"],
+               receipts[0]["coalesced"] + receipts[1]["coalesced"])
+    assert overlap == (16, 16)
+
+
+def test_warm_resubmission_completes_without_workers(svc):
+    svc.start_worker()
+    first = submit(svc, sixteen_cells())
+    assert svc.client.wait(first["job"])["state"] == "done"
+    svc._stop.set()  # no workers from here on
+    for thread in svc._threads:
+        thread.join(5)
+
+    started = time.monotonic()
+    again = submit(svc, sixteen_cells())
+    final = svc.client.wait(again["job"])
+    elapsed = time.monotonic() - started
+    assert again["warm"] == 16
+    assert final["state"] == "done"
+    assert elapsed < 1.0  # served entirely from the store
+    assert svc.store.info()["counters"]["lifetime"]["puts"] == 16
+
+
+def test_killed_worker_loses_no_cells(svc):
+    """Kill a worker process mid-job: lease expiry requeues its cells
+    and the job still completes with every cell accounted for."""
+    import multiprocessing
+
+    cells = sixteen_cells()
+    receipt = submit(svc, cells)
+
+    context = multiprocessing.get_context("fork")
+    doomed = context.Process(
+        target=_doomed_worker_main, args=(svc.service.address,), daemon=True)
+    doomed.start()
+
+    # Wait until the doomed worker holds leases, then kill it cold.
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        status = svc.client.status(receipt["job"])["job"]
+        if status["leased"] >= 1:
+            break
+        time.sleep(0.05)
+    else:
+        pytest.fail("doomed worker never claimed a cell")
+    doomed.kill()
+    doomed.join(5)
+
+    svc.start_worker()  # a healthy worker finishes the job
+    final = svc.client.wait(receipt["job"])
+    assert final["state"] == "done"
+    assert final["done"] == len(cells)
+    assert final["dead"] == 0
+    # Everything the dead worker had leased was requeued and re-run.
+    assert svc.queue.stats()["counters"].get("requeued", 0) >= 1
+    for cell in cells:
+        assert svc.store.get(cell) is not None
+
+
+def _doomed_worker_main(address):
+    backend = RemoteBackend(ServiceClient(address), host="doomed")
+    worker_loop(backend, executor=_sleepy_executor, poll=0.02, batch=4)
+
+
+def _sleepy_executor(cell_spec):
+    time.sleep(120)
+    return {}
+
+
+def test_failing_cells_surface_in_job_status(svc):
+    def flaky(cell_spec):
+        if cell_spec.scheme == "combined":
+            raise RuntimeError("synthetic failure")
+        return fake_executor(cell_spec)
+
+    svc.start_worker(executor=flaky)
+    receipt = submit(svc, [spec("atr"), spec("combined")])
+    final = svc.client.wait(receipt["job"])
+    assert final["state"] == "failed"
+    assert final["done"] == 1
+    assert final["dead"] == 1
+    assert "synthetic failure" in final["failed_cells"][0]["error"]
+
+
+def test_cancel_over_the_wire(svc):
+    receipt = submit(svc, [spec("atr")])
+    assert svc.client.cancel(receipt["job"]) is True
+    assert svc.client.status(receipt["job"])["job"]["state"] == "cancelled"
+    assert svc.client.cancel("j-nonexistent") is False
+
+
+def test_protocol_errors_are_structured(svc):
+    with pytest.raises(ServiceError, match="unknown op"):
+        svc.client.request({"op": "frobnicate"})
+    with pytest.raises(ServiceError, match="no specs"):
+        svc.client.submit([])
+    with pytest.raises(ServiceError, match="unknown job"):
+        svc.client.status("j-missing")
+
+
+def test_fetch_returns_encoded_result_or_none(svc):
+    svc.start_worker()
+    receipt = submit(svc, [spec("atr")])
+    svc.client.wait(receipt["job"])
+    payload = svc.client.fetch(spec_to_dict(spec("atr")))
+    assert payload == {"kind": "raw",
+                       "data": fake_executor(spec("atr"))}
+    assert svc.client.fetch(spec_to_dict(spec("baseline", rf=52))) is None
+
+
+def test_stats_reports_queue_store_and_hosts(svc):
+    svc.start_worker(host="bob")
+    receipt = submit(svc, [spec()])
+    svc.client.wait(receipt["job"])
+    stats = svc.client.stats()
+    assert stats["queue"]["cells"]["done"] == 1
+    assert stats["store"]["counters"]["lifetime"]["puts"] == 1
+    assert any(h["host"] == "bob" for h in stats["queue"]["hosts"])
+
+
+def test_remote_resolver_routes_sweep_through_service(svc, tmp_path):
+    """A client-side sweep() resolves its cold cells via the service —
+    including over `fetch` when the client has no shared store."""
+    svc.start_worker()
+    client_store = ResultStore(root=tmp_path / "client-store")
+    set_remote_resolver(remote_resolver(svc.client, store=client_store))
+    try:
+        cells = [spec("atr"), spec("baseline")]
+        report = sweep(cells, store=client_store).require_complete()
+        assert report.results[spec("atr")] == fake_executor(spec("atr"))
+        # Fetched payloads are cached locally: a second sweep is warm.
+        report = sweep(cells, store=client_store)
+        assert report.hits == 2
+    finally:
+        set_remote_resolver(None)
+    # No local simulation happened: every execution was service-side.
+    assert svc.store.info()["counters"]["lifetime"]["puts"] == 2
+
+
+def test_remote_resolver_reports_remote_failures(svc):
+    def broken(cell_spec):
+        raise RuntimeError("kaput")
+
+    svc.start_worker(executor=broken)
+    set_remote_resolver(remote_resolver(svc.client))
+    try:
+        report = sweep([spec("atr")], store=None)
+        assert len(report.failures) == 1
+        assert "remote:" in report.failures[0].error
+    finally:
+        set_remote_resolver(None)
+
+
+def test_use_remote_requires_reachable_service(svc):
+    assert use_remote("127.0.0.1:1") is None  # nothing listens there
+    client = use_remote(svc.service.address)
+    try:
+        assert client is not None
+    finally:
+        set_remote_resolver(None)
+
+
+def test_real_simulation_cell_through_full_stack(svc):
+    """One genuine (small) simulation rides the whole service path and
+    decodes to the same CellResult a local run produces."""
+    from repro.harness import execute_spec, simulate_cell
+
+    svc.start_worker(executor=execute_spec)
+    cell = CellSpec(BENCH, 64, "atr", 400)
+    receipt = submit(svc, [cell])
+    final = svc.client.wait(receipt["job"])
+    assert final["state"] == "done"
+    remote = svc.store.get(cell)
+    local = simulate_cell(cell)
+    assert remote.stats == local.stats
+    assert remote.ipc == local.ipc
