@@ -135,11 +135,22 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("-d", "--redefine-delay", type=int, default=0)
     val.add_argument("--quick", action="store_true",
                      help="small smoke campaign: 2 benchmarks, 1 rf size, "
-                          "2 seeds, 1500 instructions")
+                          "2 seeds, 1500 instructions (with --service: "
+                          "6 seeded fault schedules)")
     val.add_argument("-j", "--jobs", type=_positive_int, default=None,
                      help="worker processes (default: all cores)")
     val.add_argument("-v", "--verbose", action="store_true",
                      help="per-cell progress lines on stderr")
+    val.add_argument("--service", action="store_true",
+                     help="service-chaos campaign instead: seeded fault "
+                          "schedules (transport/queue-fs/worker-crash/"
+                          "coordinator-restart) against a live sweep "
+                          "service, asserting exactly-once execution")
+    val.add_argument("--schedules", type=_positive_int, default=50,
+                     help="--service: seeded fault schedules (default 50)")
+    val.add_argument("--fault-seed", type=int, default=0,
+                     help="--service: base seed for the schedule grid "
+                          "(default 0)")
 
     bench = sub.add_parser(
         "bench", help="benchmark the simulator's own throughput")
@@ -187,6 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--lease", type=float, default=None,
                        help="cell lease seconds before crash-requeue "
                             "(default 600, or $REPRO_CELL_TIMEOUT)")
+    serve.add_argument("--token", default=None,
+                       help="shared-secret auth token required on every "
+                            "op (default $REPRO_SERVICE_TOKEN; strongly "
+                            "recommended for non-loopback binds)")
 
     submit = sub.add_parser(
         "submit", help="submit an async sweep job to a running service")
@@ -211,19 +226,31 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--addr", default=None, metavar="HOST:PORT",
                         help="service address (default $REPRO_SERVICE_ADDR "
                              "or 127.0.0.1:7341)")
+    submit.add_argument("--token", default=None,
+                    help="service auth token "
+                         "(default $REPRO_SERVICE_TOKEN)")
 
     status = sub.add_parser("status", help="job/queue status of a service")
     status.add_argument("job", nargs="?", default=None,
                         help="job id (omit for the queue overview)")
     status.add_argument("--addr", default=None, metavar="HOST:PORT")
+    status.add_argument("--token", default=None,
+                    help="service auth token "
+                         "(default $REPRO_SERVICE_TOKEN)")
 
     watch = sub.add_parser("watch", help="stream a job's progress")
     watch.add_argument("job", help="job id (from `repro submit`)")
     watch.add_argument("--addr", default=None, metavar="HOST:PORT")
+    watch.add_argument("--token", default=None,
+                     help="service auth token "
+                          "(default $REPRO_SERVICE_TOKEN)")
 
     cancel = sub.add_parser("cancel", help="cancel a queued job")
     cancel.add_argument("job", help="job id")
     cancel.add_argument("--addr", default=None, metavar="HOST:PORT")
+    cancel.add_argument("--token", default=None,
+                    help="service auth token "
+                         "(default $REPRO_SERVICE_TOKEN)")
 
     work = sub.add_parser(
         "work", help="run worker processes against a remote coordinator")
@@ -232,6 +259,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "$REPRO_SERVICE_ADDR or 127.0.0.1:7341)")
     work.add_argument("-w", "--workers", type=int, default=None,
                       help="worker processes (default: all cores)")
+    work.add_argument("--token", default=None,
+                  help="service auth token "
+                       "(default $REPRO_SERVICE_TOKEN)")
 
     analyze = sub.add_parser("analyze", help="atomic-region analysis")
     _add_common(analyze)
@@ -455,6 +485,8 @@ def _cmd_validate(args) -> int:
     from .validate import campaign_specs, run_campaign
     from .workloads import resolve
 
+    if args.service:
+        return _cmd_validate_service(args)
     if args.quick:
         benchmarks = ["505.mcf_r", "503.bwaves_r"]
         rf_sizes = [28]
@@ -487,6 +519,25 @@ def _cmd_validate(args) -> int:
     )
     print(report.render())
     progress.emit_summary()
+    return 0 if report.ok else 1
+
+
+def _cmd_validate_service(args) -> int:
+    """``repro validate --service``: seeded fault schedules against a
+    live serve/work topology, asserting exactly-once execution."""
+    from .validate import run_service_campaign
+
+    schedules = 6 if args.quick else args.schedules
+    print(f"validate --service: {schedules} seeded fault schedule(s), "
+          f"base seed {args.fault_seed}")
+    report = run_service_campaign(
+        schedules=schedules,
+        base_seed=args.fault_seed,
+        progress=lambda line: print(line, flush=True),
+    )
+    # Per-schedule lines already streamed via progress; print the tail
+    # (totals, class coverage, replay verdict, failure detail) only.
+    print("\n".join(report.render().splitlines()[len(report.schedules):]))
     return 0 if report.ok else 1
 
 
@@ -558,10 +609,13 @@ def _submit_specs(args):
 
 def _render_job(job: dict) -> str:
     label = f" [{job['label']}]" if job.get("label") else ""
+    eta = ""
+    if job.get("eta") is not None and job["state"] in ("pending", "running"):
+        eta = f", ~{job['eta']:.0f}s left"
     return (f"{job['id']}{label}: {job['state']}  "
             f"{job['done']}/{job['total']} done, "
             f"{job['leased']} running, {job['pending']} pending"
-            + (f", {job['dead']} FAILED" if job["dead"] else ""))
+            + (f", {job['dead']} FAILED" if job["dead"] else "") + eta)
 
 
 def _watch_to_completion(client, job_id: str) -> int:
@@ -583,12 +637,12 @@ def _watch_to_completion(client, job_id: str) -> int:
 
 def _cmd_serve(args) -> int:
     from .harness import default_timeout
-    from .service import run_service
+    from .service import resolve_token, run_service
 
     lease = args.lease if args.lease is not None else default_timeout()
     workers = args.workers if args.workers is not None else _default_jobs()
     return run_service(host=args.host, port=args.port, workers=workers,
-                       lease=lease)
+                       lease=lease, token=resolve_token(args.token))
 
 
 def _cmd_submit(args) -> int:
@@ -598,7 +652,7 @@ def _cmd_submit(args) -> int:
     from .service import ServiceClient, ServiceError
 
     specs = _submit_specs(args)
-    client = ServiceClient(args.addr)
+    client = ServiceClient(args.addr, token=args.token)
     started = time.monotonic()
     try:
         receipt = client.submit([spec_to_dict(s) for s in specs],
@@ -619,12 +673,15 @@ def _cmd_submit(args) -> int:
 def _cmd_status(args) -> int:
     from .service import ServiceClient, ServiceError
 
-    client = ServiceClient(args.addr)
+    client = ServiceClient(args.addr, token=args.token)
     try:
         reply = client.status(args.job)
+        degraded = client.ping().get("degraded")
     except ServiceError as exc:
         print(f"status: {exc}", file=sys.stderr)
         return 1
+    if degraded:
+        print(f"SERVICE DEGRADED (read-only): {degraded}", file=sys.stderr)
     if args.job is not None:
         print(_render_job(reply["job"]))
         for cell in reply["job"].get("failed_cells", []):
@@ -642,8 +699,13 @@ def _cmd_status(args) -> int:
             f"{key} {value}" for key, value in sorted(counters.items())))
     for host in stats["hosts"]:
         liveness = "alive" if host["alive"] else "gone"
+        errors = (host.get("meta") or {}).get("errors") or {}
+        error_text = ""
+        if errors:
+            error_text = ", errors: " + ", ".join(
+                f"{key} {value}" for key, value in sorted(errors.items()))
         print(f"host {host['host']}: {host.get('workers', '?')} worker(s), "
-              f"{liveness}")
+              f"{liveness}{error_text}")
     for job in reply["jobs"][:20]:
         print(_render_job(job))
     return 0
@@ -653,7 +715,8 @@ def _cmd_watch(args) -> int:
     from .service import ServiceClient, ServiceError
 
     try:
-        return _watch_to_completion(ServiceClient(args.addr), args.job)
+        return _watch_to_completion(
+            ServiceClient(args.addr, token=args.token), args.job)
     except ServiceError as exc:
         print(f"watch: {exc}", file=sys.stderr)
         return 1
@@ -663,7 +726,7 @@ def _cmd_cancel(args) -> int:
     from .service import ServiceClient, ServiceError
 
     try:
-        cancelled = ServiceClient(args.addr).cancel(args.job)
+        cancelled = ServiceClient(args.addr, token=args.token).cancel(args.job)
     except ServiceError as exc:
         print(f"cancel: {exc}", file=sys.stderr)
         return 1
@@ -672,13 +735,14 @@ def _cmd_cancel(args) -> int:
 
 
 def _cmd_work(args) -> int:
-    from .service import ServiceClient, ServiceUnavailable, format_addr, \
-        resolve_addr, spawn_workers
+    from .service import ServiceClient, ServiceError, ServiceUnavailable, \
+        format_addr, resolve_addr, resolve_token, spawn_workers
 
     addr = format_addr(resolve_addr(args.addr))
+    token = resolve_token(args.token)
     try:
-        ServiceClient(addr).ping()
-    except ServiceUnavailable as exc:
+        ServiceClient(addr, token=token).ping()
+    except (ServiceUnavailable, ServiceError) as exc:
         print(f"work: {exc}", file=sys.stderr)
         return 1
     count = args.workers if args.workers is not None else _default_jobs()
@@ -690,7 +754,7 @@ def _cmd_work(args) -> int:
         raise KeyboardInterrupt
 
     previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
-    processes = spawn_workers(addr, count)
+    processes = spawn_workers(addr, count, token=token)
     try:
         for process in processes:
             process.join()

@@ -19,18 +19,33 @@ cache; this package makes that a *multi-client, multi-host* system:
   hit/miss/put/eviction accounting behind ``repro cache info|gc``;
 * **remote sweeps** (:mod:`.remote`): ``figure all --remote`` resolves
   cold cells through the service (falling back to local execution when
-  none is running).
+  none is running);
+* **fault injection** (:mod:`.faults`): seeded, bit-replayable fault
+  plans over transport / queue-fs / worker / coordinator layers — the
+  schedule generator behind ``repro validate --service``.
 """
 
 from .api import (
     ADDR_ENV,
+    TOKEN_ENV,
+    ServiceAuthError,
     ServiceClient,
     ServiceError,
     ServiceUnavailable,
     format_addr,
     resolve_addr,
+    resolve_token,
 )
 from .cachectl import CacheEntry, GcReport, cache_report, plan_gc, run_gc, scan_entries
+from .faults import (
+    FAULT_INTENSITIES,
+    FaultInjector,
+    FaultPlan,
+    InjectedWorkerCrash,
+    ServiceFaultSpec,
+    SkewedClock,
+    WorkerFaultHooks,
+)
 from .queue import (
     DEFAULT_LEASE,
     DEFAULT_MAX_ATTEMPTS,
@@ -42,6 +57,7 @@ from .queue import (
 from .remote import clear_remote, remote_resolver, use_remote
 from .server import SweepService, run_service
 from .worker import (
+    ErrorTally,
     LocalBackend,
     RemoteBackend,
     make_owner,
@@ -54,10 +70,13 @@ __all__ = [
     "JobQueue", "Lease", "SubmitReceipt", "queue_root",
     "DEFAULT_LEASE", "DEFAULT_MAX_ATTEMPTS",
     "ServiceClient", "ServiceError", "ServiceUnavailable",
+    "ServiceAuthError", "resolve_token", "TOKEN_ENV",
     "resolve_addr", "format_addr", "ADDR_ENV",
     "SweepService", "run_service",
     "LocalBackend", "RemoteBackend", "worker_loop", "make_owner",
-    "remote_worker_main", "spawn_workers",
+    "remote_worker_main", "spawn_workers", "ErrorTally",
+    "ServiceFaultSpec", "FaultPlan", "FaultInjector", "SkewedClock",
+    "InjectedWorkerCrash", "WorkerFaultHooks", "FAULT_INTENSITIES",
     "CacheEntry", "GcReport", "scan_entries", "plan_gc", "run_gc",
     "cache_report",
     "use_remote", "clear_remote", "remote_resolver",

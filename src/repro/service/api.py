@@ -30,29 +30,71 @@ the protocol: a worker on *any* machine that can reach the coordinator
 socket participates in the sweep — results travel back inside
 ``complete`` as the same JSON encoding the store uses, so no shared
 filesystem is required for multi-host sharding.
+
+Retry discipline: every op except ``watch``/``shutdown`` is
+idempotent at the server — ``submit`` coalesces on spec digests,
+``claim``/``complete``/``fail`` are keyed on (digest, owner) and a
+duplicate ``complete`` settles as a no-op — so the client retries
+**transport-level** failures (refused/reset connections, dropped or
+garbled replies, timeouts) with exponential backoff and full jitter.
+A reply the server actually produced (``ok: false``) is a decision,
+not a fault, and is never retried; ``auth`` failures raise the typed
+:class:`ServiceAuthError` immediately.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import socket
+import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
 ADDR_ENV = "REPRO_SERVICE_ADDR"
+TOKEN_ENV = "REPRO_SERVICE_TOKEN"
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7341
 
 #: Seconds a client waits for one reply before giving up.
 CLIENT_TIMEOUT = 30.0
 
+#: Transport-failure retries per request (first try + this many more).
+DEFAULT_RETRIES = 4
+#: Exponential backoff: min(CAP, BASE * 2^(attempt-1)) * uniform(0, 1).
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 2.0
+
+#: Ops safe to retry on a transport failure.  ``watch`` streams (a
+#: retry would replay events) and ``shutdown`` (best-effort) are out.
+RETRYABLE_OPS = frozenset({
+    "ping", "submit", "status", "cancel", "fetch", "stats",
+    "claim", "complete", "fail", "heartbeat",
+})
+
 
 class ServiceError(RuntimeError):
     """The service answered ``ok: false`` (or spoke garbage)."""
 
+    def __init__(self, message: str, kind: str = "error"):
+        super().__init__(message)
+        self.kind = kind
+
 
 class ServiceUnavailable(ServiceError):
     """No server is reachable at the address."""
+
+
+class ServiceAuthError(ServiceError):
+    """The server rejected our token.  Never retried."""
+
+    def __init__(self, message: str):
+        super().__init__(message, kind="auth")
+
+
+def resolve_token(token: Optional[str] = None) -> Optional[str]:
+    """An explicit token, ``$REPRO_SERVICE_TOKEN``, or None."""
+    return token if token is not None else os.environ.get(TOKEN_ENV) or None
 
 
 def resolve_addr(addr: Optional[str] = None) -> Tuple[str, int]:
@@ -89,12 +131,22 @@ def _recv_lines(sock: socket.socket) -> Iterator[Dict]:
 
 class ServiceClient:
     """Talk to a running sweep service.  One connection per request —
-    simple, stateless, and robust against server restarts."""
+    simple, stateless, and robust against server restarts.
+
+    *retries* bounds transport-failure retries per request; *token*
+    (or ``$REPRO_SERVICE_TOKEN``) is stamped into every payload."""
 
     def __init__(self, addr: Optional[str] = None,
-                 timeout: float = CLIENT_TIMEOUT):
+                 timeout: float = CLIENT_TIMEOUT,
+                 retries: int = DEFAULT_RETRIES,
+                 token: Optional[str] = None,
+                 sleep=time.sleep, rng: Optional[random.Random] = None):
         self.addr = resolve_addr(addr)
         self.timeout = timeout
+        self.retries = retries
+        self.token = resolve_token(token)
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
 
     # -- plumbing ----------------------------------------------------------------
     def _connect(self) -> socket.socket:
@@ -106,24 +158,71 @@ class ServiceClient:
             ) from exc
         return sock
 
-    def request(self, payload: Dict) -> Dict:
-        """One request, one reply."""
+    def _stamp(self, payload: Dict) -> Dict:
+        if self.token is not None and "token" not in payload:
+            payload = dict(payload, token=self.token)
+        return payload
+
+    @staticmethod
+    def _raise_error(reply: Dict) -> None:
+        message = reply.get("error", "service error")
+        kind = reply.get("kind", "error")
+        if kind == "auth":
+            raise ServiceAuthError(message)
+        raise ServiceError(message, kind=kind)
+
+    def _request_once(self, payload: Dict) -> Dict:
         with self._connect() as sock:
             _send_line(sock, payload)
             for reply in _recv_lines(sock):
                 if not reply.get("ok", False):
-                    raise ServiceError(reply.get("error", "service error"))
+                    self._raise_error(reply)
                 return reply
-        raise ServiceError("server closed the connection without a reply")
+        raise ServiceError("server closed the connection without a reply",
+                           kind="transport")
+
+    def request(self, payload: Dict) -> Dict:
+        """One request, one reply — retrying transport failures.
+
+        A refused/reset connection, a timed-out or truncated reply, or
+        reply garbage gets exponential backoff with full jitter, for
+        idempotent ops only.  A well-formed ``ok: false`` reply is the
+        server's decision and propagates immediately.
+        """
+        payload = self._stamp(payload)
+        attempts = 1 + (self.retries
+                        if payload.get("op") in RETRYABLE_OPS else 0)
+        last: Optional[Exception] = None
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._request_once(payload)
+            except ServiceAuthError:
+                raise  # the server spoke: retrying cannot help
+            except ServiceError as exc:
+                if exc.kind != "transport" and not isinstance(
+                        exc, ServiceUnavailable):
+                    raise
+                last = exc
+            except (OSError, ValueError) as exc:
+                # reset mid-reply / timeout / torn JSON line
+                last = exc
+            if attempt < attempts:
+                delay = min(BACKOFF_CAP, BACKOFF_BASE * (2 ** (attempt - 1)))
+                self._sleep(delay * self._rng.random())
+        if isinstance(last, ServiceError):
+            raise last
+        raise ServiceUnavailable(
+            f"request to {format_addr(self.addr)} failed after "
+            f"{attempts} attempts: {last}") from last
 
     def stream(self, payload: Dict) -> Iterator[Dict]:
-        """One request, many reply lines (``watch``)."""
+        """One request, many reply lines (``watch``).  Not retried."""
         with self._connect() as sock:
             sock.settimeout(None)  # watch streams are long-lived
-            _send_line(sock, payload)
+            _send_line(sock, self._stamp(payload))
             for reply in _recv_lines(sock):
                 if not reply.get("ok", True):
-                    raise ServiceError(reply.get("error", "service error"))
+                    self._raise_error(reply)
                 yield reply
 
     # -- client operations -------------------------------------------------------
@@ -185,16 +284,26 @@ class ServiceClient:
                              "max": max_cells}).get("cells", [])
 
     def complete(self, owner: str, digest: str, result: Dict,
-                 elapsed: Optional[float] = None) -> bool:
-        return bool(self.request({
+                 elapsed: Optional[float] = None,
+                 spec: Optional[Dict] = None) -> bool:
+        """*spec* (the lease's spec dict) lets the server repair an
+        unreadable cell record at settlement time."""
+        payload: Dict = {
             "op": "complete", "owner": owner, "digest": digest,
             "result": result, "elapsed": elapsed,
-        }).get("accepted"))
+        }
+        if spec is not None:
+            payload["spec"] = spec
+        return bool(self.request(payload).get("accepted"))
 
     def fail(self, owner: str, digest: str, error: str) -> bool:
         return bool(self.request({
             "op": "fail", "owner": owner, "digest": digest, "error": error,
         }).get("accepted"))
 
-    def heartbeat(self, host: str, workers: int = 1) -> None:
-        self.request({"op": "heartbeat", "host": host, "workers": workers})
+    def heartbeat(self, host: str, workers: int = 1,
+                  errors: Optional[Dict] = None) -> None:
+        payload: Dict = {"op": "heartbeat", "host": host, "workers": workers}
+        if errors:
+            payload["errors"] = errors
+        self.request(payload)

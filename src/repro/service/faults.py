@@ -1,0 +1,398 @@
+"""Deterministic, seeded fault injection for the sweep service.
+
+The service's headline guarantee — every submitted cell executes exactly
+once and its result survives — is only trustworthy if it holds when the
+world turns hostile: sockets drop mid-line, workers die holding leases,
+``index.json`` is torn by a crashed writer, clocks jump.  This module
+makes that hostility *reproducible*: a :class:`ServiceFaultSpec` (one
+integer seed plus an intensity) derives a :class:`FaultPlan` — a pure,
+bit-replayable schedule of faults across all four service layers —
+
+* **transport**: connections refused or reset, replies dropped,
+  truncated mid-line (partial writes), or delayed past the client
+  timeout;
+* **queue filesystem**: torn or garbage ``index.json`` / cell-record
+  writes (simulating a crashed non-atomic writer), flock contention
+  stalls;
+* **workers**: crash after claiming (mid-lease) or after executing but
+  before reporting (mid-complete), plus forward clock-skew jumps that
+  expire live leases early;
+* **coordinator**: full restarts with leases in flight.
+
+A :class:`FaultInjector` executes the plan at runtime seams threaded
+through :mod:`.queue`, :mod:`.server`, and :mod:`.worker` — every seam
+is a ``None`` check when no injector is installed, so the fault layer
+is fully off (and free) by default.  Fault decisions key off
+per-category event *counters* ("the 3rd ``claim`` reply is dropped"),
+so the plan is a pure function of the spec: two runs with the same seed
+plan the identical schedule, byte for byte (``FaultPlan.digest()``).
+
+:mod:`repro.validate.servicechaos` drives seeded schedules against a
+live serve/work topology and asserts the exactly-once invariants.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Ops the transport layer may fault.  ``watch`` is deliberately exempt
+#: (streams are not retried) and ``shutdown`` must always land.
+FAULTED_OPS = ("submit", "claim", "complete", "fail", "status", "fetch",
+               "heartbeat")
+
+#: Transport fault kinds.  ``refuse``/``reset`` kill the connection
+#: before the request is processed; ``drop``/``partial`` after; ``delay``
+#: stalls the reply past the client timeout.
+TRANSPORT_KINDS = ("refuse", "reset", "drop", "partial", "delay")
+
+#: Queue-filesystem fault kinds applied to a just-written JSON file.
+QUEUEFS_KINDS = ("torn", "garbage")
+
+#: Worker crash phases (see :func:`repro.service.worker.worker_loop`).
+CRASH_PHASES = ("mid-lease", "mid-complete")
+
+#: Per-intensity fault magnitudes.
+FAULT_INTENSITIES = {
+    "low": dict(p_transport=0.06, p_index=0.06, p_cell=0.04, p_lock=0.04,
+                crashes=1, restarts=0, skews=0, horizon=80),
+    "medium": dict(p_transport=0.14, p_index=0.12, p_cell=0.08, p_lock=0.08,
+                   crashes=2, restarts=1, skews=1, horizon=140),
+    "high": dict(p_transport=0.25, p_index=0.20, p_cell=0.14, p_lock=0.12,
+                 crashes=4, restarts=2, skews=2, horizon=220),
+}
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """Raised at a planned worker crashpoint: the worker dies on the
+    spot, abandoning whatever leases it holds."""
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """One seeded service-chaos schedule: topology shape + fault seed."""
+
+    seed: int
+    cells: int = 12
+    workers: int = 3
+    intensity: str = "medium"
+    lease: float = 0.6
+    client_timeout: float = 0.6
+
+    kind = "servicechaos"
+
+    def describe(self) -> str:
+        return (f"servicechaos#{self.seed}({self.intensity}) "
+                f"{self.cells}c/{self.workers}w")
+
+    def rng(self) -> random.Random:
+        """The plan RNG.  ``random.Random`` seeds strings via SHA-512,
+        independent of ``PYTHONHASHSEED`` and the host process."""
+        return random.Random(
+            f"servicefaults|s{self.seed}|{self.intensity}"
+            f"|c{self.cells}|w{self.workers}")
+
+
+@dataclass
+class FaultPlan:
+    """A fully materialized fault schedule — pure data, derived from a
+    :class:`ServiceFaultSpec` alone, so it is bit-replayable."""
+
+    #: op -> {event index -> (kind, param)}.
+    transport: Dict[str, Dict[int, Tuple[str, float]]] = field(
+        default_factory=dict)
+    #: index-write counter -> kind.
+    index_writes: Dict[int, str] = field(default_factory=dict)
+    #: cell-write counter -> kind.
+    cell_writes: Dict[int, str] = field(default_factory=dict)
+    #: lock-acquire counter -> stall seconds.
+    lock_stalls: Dict[int, float] = field(default_factory=dict)
+    #: worker slot -> {phase -> event indices}.
+    worker_crashes: Dict[int, Dict[str, List[int]]] = field(
+        default_factory=dict)
+    #: total-op counts at which the coordinator restarts.
+    restarts: List[int] = field(default_factory=list)
+    #: claim-op counter -> forward clock jump (seconds).
+    clock_skews: Dict[int, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_spec(cls, spec: ServiceFaultSpec) -> "FaultPlan":
+        if spec.intensity not in FAULT_INTENSITIES:
+            raise ValueError(
+                f"unknown intensity {spec.intensity!r}; "
+                f"expected one of {sorted(FAULT_INTENSITIES)}")
+        knobs = FAULT_INTENSITIES[spec.intensity]
+        rng = spec.rng()
+        plan = cls()
+        horizon = knobs["horizon"]
+        for op in FAULTED_OPS:
+            entries: Dict[int, Tuple[str, float]] = {}
+            for i in range(horizon):
+                if rng.random() < knobs["p_transport"]:
+                    kind = rng.choice(TRANSPORT_KINDS)
+                    param = 0.0
+                    if kind == "delay":
+                        # Just past the client timeout: forces a retry.
+                        param = round(
+                            spec.client_timeout * rng.uniform(1.3, 2.0), 3)
+                    entries[i] = (kind, param)
+            if entries:
+                plan.transport[op] = entries
+        plan.index_writes = {
+            i: rng.choice(QUEUEFS_KINDS) for i in range(horizon)
+            if rng.random() < knobs["p_index"]}
+        plan.cell_writes = {
+            i: rng.choice(QUEUEFS_KINDS) for i in range(horizon)
+            if rng.random() < knobs["p_cell"]}
+        plan.lock_stalls = {
+            i: round(rng.uniform(0.005, 0.04), 4) for i in range(horizon)
+            if rng.random() < knobs["p_lock"]}
+        for _ in range(knobs["crashes"]):
+            slot = rng.randrange(max(1, spec.workers))
+            phase = rng.choice(CRASH_PHASES)
+            index = rng.randint(0, 3)  # early, so the crash actually fires
+            plan.worker_crashes.setdefault(slot, {}).setdefault(
+                phase, []).append(index)
+        plan.restarts = sorted(rng.randint(8, 60)
+                               for _ in range(knobs["restarts"]))
+        plan.clock_skews = {
+            rng.randint(1, 8): round(spec.lease * rng.uniform(1.1, 2.0), 3)
+            for _ in range(knobs["skews"])}
+        return plan
+
+    def to_dict(self) -> Dict:
+        return {
+            "transport": {op: {str(i): list(entry)
+                               for i, entry in sorted(entries.items())}
+                          for op, entries in sorted(self.transport.items())},
+            "index_writes": {str(i): kind for i, kind
+                             in sorted(self.index_writes.items())},
+            "cell_writes": {str(i): kind for i, kind
+                            in sorted(self.cell_writes.items())},
+            "lock_stalls": {str(i): stall for i, stall
+                            in sorted(self.lock_stalls.items())},
+            "worker_crashes": {str(slot): {phase: sorted(idx)
+                                           for phase, idx
+                                           in sorted(phases.items())}
+                               for slot, phases
+                               in sorted(self.worker_crashes.items())},
+            "restarts": list(self.restarts),
+            "clock_skews": {str(i): jump for i, jump
+                            in sorted(self.clock_skews.items())},
+        }
+
+    def digest(self) -> str:
+        """Stable content hash — the bit-replayability witness."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def classes(self) -> List[str]:
+        """Which fault classes this plan exercises."""
+        out = []
+        if self.transport:
+            out.append("transport")
+        if self.index_writes or self.cell_writes or self.lock_stalls:
+            out.append("queuefs")
+        if self.worker_crashes or self.clock_skews:
+            out.append("worker")
+        if self.restarts:
+            out.append("coordinator")
+        return out
+
+
+class SkewedClock:
+    """``time.time`` plus a forward-only offset the injector can bump.
+
+    Handed to :class:`~repro.service.queue.JobQueue` as its clock so a
+    planned skew jump instantly expires live leases — the clock-skew
+    lease-expiry fault class.
+    """
+
+    def __init__(self, base: Callable[[], float] = time.time):
+        self._base = base
+        self._offset = 0.0
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._base() + self._offset
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("SkewedClock only skews forward")
+        with self._lock:
+            self._offset += seconds
+
+    @property
+    def offset(self) -> float:
+        with self._lock:
+            return self._offset
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` at the service's runtime seams.
+
+    Thread-safe; every decision keys off a per-category event counter so
+    the *plan* is deterministic even though thread interleaving is not.
+    ``disarm()`` turns every seam into a no-op (the campaign's drain
+    phase); ``fired`` records each fault that actually triggered.
+    """
+
+    def __init__(self, spec: ServiceFaultSpec,
+                 plan: Optional[FaultPlan] = None):
+        self.spec = spec
+        self.plan = plan if plan is not None else FaultPlan.from_spec(spec)
+        self.armed = True
+        self.fired: List[Tuple[str, str, int, str]] = []
+        self.clock: Optional[SkewedClock] = None
+        self._lock = threading.Lock()
+        self._op_counts: Dict[str, int] = {}
+        self._total_ops = 0
+        self._index_writes = 0
+        self._cell_writes = 0
+        self._lock_acquires = 0
+        self._claims = 0
+        self._worker_claims: Dict[int, int] = {}
+        self._worker_completes: Dict[int, int] = {}
+        self._pending_restarts = list(self.plan.restarts)
+        self.restart_requested = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------------
+    def disarm(self) -> None:
+        """Stop injecting (drain phase); counters keep advancing."""
+        self.armed = False
+
+    def attach_clock(self, clock: SkewedClock) -> None:
+        self.clock = clock
+
+    def _record(self, layer: str, kind: str, index: int,
+                target: str = "") -> None:
+        self.fired.append((layer, kind, index, target))
+
+    def fired_by_class(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for layer, _kind, _index, _target in self.fired:
+            out[layer] = out.get(layer, 0) + 1
+        return out
+
+    # -- transport (server handler) ----------------------------------------------
+    def transport_action(self, op: str) -> Optional[Tuple[str, float]]:
+        """The planned fault for this op arrival, or None."""
+        with self._lock:
+            self._total_ops += 1
+            if (self._pending_restarts
+                    and self._total_ops >= self._pending_restarts[0]):
+                self._pending_restarts.pop(0)
+                self.restart_requested.set()
+            if op == "claim":
+                index = self._claims
+                self._claims += 1
+                jump = self.plan.clock_skews.get(index)
+                if (self.armed and jump and self.clock is not None):
+                    self.clock.advance(jump)
+                    self._record("worker", "clock-skew", index, f"+{jump}s")
+            count = self._op_counts.get(op, 0)
+            self._op_counts[op] = count + 1
+            if not self.armed:
+                return None
+            entry = self.plan.transport.get(op, {}).get(count)
+            if entry is None:
+                return None
+            self._record("transport", entry[0], count, op)
+            return entry
+
+    # -- queue filesystem ----------------------------------------------------------
+    def _mangle(self, path: Path, kind: str) -> None:
+        """Simulate a torn/garbled write by a crashed non-atomic writer."""
+        try:
+            if kind == "torn":
+                data = path.read_bytes()
+                path.write_bytes(data[:max(1, len(data) // 2)])
+            else:  # garbage
+                path.write_bytes(b'{"pending": [1, ')
+        except OSError:
+            pass
+
+    def after_index_write(self, path: Path) -> None:
+        with self._lock:
+            index = self._index_writes
+            self._index_writes += 1
+            if not self.armed:
+                return
+            kind = self.plan.index_writes.get(index)
+            if kind is None:
+                return
+            self._record("queuefs", f"index-{kind}", index)
+        self._mangle(path, kind)
+
+    def after_cell_write(self, path: Path) -> None:
+        with self._lock:
+            index = self._cell_writes
+            self._cell_writes += 1
+            if not self.armed:
+                return
+            kind = self.plan.cell_writes.get(index)
+            if kind is None:
+                return
+            self._record("queuefs", f"cell-{kind}", index, path.name)
+        self._mangle(path, kind)
+
+    def lock_stall(self) -> None:
+        with self._lock:
+            index = self._lock_acquires
+            self._lock_acquires += 1
+            if not self.armed:
+                return
+            stall = self.plan.lock_stalls.get(index)
+            if stall is None:
+                return
+            self._record("queuefs", "lock-stall", index, f"{stall}s")
+        time.sleep(stall)
+
+    # -- workers -------------------------------------------------------------------
+    def worker_crashpoint(self, slot: int, phase: str) -> None:
+        """Raise :class:`InjectedWorkerCrash` if this (slot, phase)
+        event index is planned to die."""
+        with self._lock:
+            counts = (self._worker_claims if phase == "mid-lease"
+                      else self._worker_completes)
+            index = counts.get(slot, 0)
+            counts[slot] = index + 1
+            if not self.armed:
+                return
+            planned = self.plan.worker_crashes.get(slot, {}).get(phase, ())
+            if index not in planned:
+                return
+            self._record("worker", f"crash-{phase}", index, f"slot{slot}")
+        raise InjectedWorkerCrash(f"planned crash: worker {slot} {phase} "
+                                  f"event {index}")
+
+    # -- coordinator -----------------------------------------------------------------
+    def take_restart_request(self) -> bool:
+        """True once per planned restart whose op-count threshold passed."""
+        if self.restart_requested.is_set():
+            self.restart_requested.clear()
+            self._record("coordinator", "restart", self._total_ops)
+            return True
+        return False
+
+
+class WorkerFaultHooks:
+    """Per-worker adapter binding an injector to one worker slot.
+
+    Slots beyond the planned topology (supervisor respawns) never crash
+    — the plan only covers slots ``0..workers-1``.
+    """
+
+    def __init__(self, injector: FaultInjector, slot: int):
+        self.injector = injector
+        self.slot = slot
+
+    def crashpoint(self, phase: str) -> None:
+        self.injector.worker_crashpoint(self.slot, phase)

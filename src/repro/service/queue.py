@@ -28,6 +28,19 @@ owner currently holding the lease.  If an owner dies, its lease
 expires and the next ``claim`` (or a server reaper tick) moves the
 cell back to pending — crash-safe requeue.  A cell that fails
 ``max_attempts`` times is marked dead and its jobs report failure.
+
+Corrupt-state recovery: a torn or garbled ``index.json`` (a crashed
+writer, a bad disk) is rebuilt from the cell records — done/dead cells
+keep their verdicts, everything else requeues (in-flight leases cannot
+be reconstructed; their late settlements are rejected or accepted
+idempotently).  An unreadable *cell* record fails loudly (dead with
+cause) instead of silently vanishing, and is repaired wholesale when
+its worker settles with the spec it still holds, or resurrected by a
+resubmission.  ``complete_with`` publishes the result and settles the
+lease in one critical section keyed on (digest, owner), so a duplicate
+or stale ``complete`` — a client retry after a dropped reply, a worker
+whose lease expired mid-run — can never double-publish: the store's
+put counter equals distinct executed cells, always.
 """
 
 from __future__ import annotations
@@ -147,11 +160,15 @@ class JobQueue:
     def __init__(self, root: Optional[Path] = None,
                  lease: float = DEFAULT_LEASE,
                  max_attempts: int = DEFAULT_MAX_ATTEMPTS,
-                 clock: Callable[[], float] = time.time):
+                 clock: Callable[[], float] = time.time,
+                 faults=None):
         self.root = Path(root) if root is not None else queue_root()
         self.lease = lease
         self.max_attempts = max_attempts
         self.clock = clock
+        #: Optional :class:`~repro.service.faults.FaultInjector`; every
+        #: seam below is a ``None`` check when faults are off (default).
+        self.faults = faults
         self.root.mkdir(parents=True, exist_ok=True)
 
     # -- paths & locking ---------------------------------------------------------
@@ -170,6 +187,8 @@ class JobQueue:
 
     @contextmanager
     def _locked(self):
+        if self.faults is not None:
+            self.faults.lock_stall()  # injected flock contention
         lock_path = self.root / "lock"
         handle = open(lock_path, "a+")
         try:
@@ -188,6 +207,12 @@ class JobQueue:
 
     def _load_index(self) -> Dict:
         index = _read_json(self._index_path)
+        if index is None and self._has_state_on_disk():
+            # The index exists but is unreadable (torn write, bad disk),
+            # or vanished while cell records survive: rebuild it.  The
+            # rebuilt view is returned in-memory; the next locked
+            # mutation persists it via _save_index.
+            index = self._rebuild_index()
         if not index:
             index = {}
         index.setdefault("seq", 0)
@@ -197,8 +222,61 @@ class JobQueue:
         index.setdefault("counters", {})
         return index
 
+    def _has_state_on_disk(self) -> bool:
+        """Whether a missing/unreadable index actually lost anything."""
+        if self._index_path.exists():
+            return True  # file present but unparseable: corrupt
+        cells_dir = self.root / "cells"
+        return cells_dir.is_dir() and any(cells_dir.glob("*.json"))
+
+    def _rebuild_index(self) -> Dict:
+        """Reconstruct scheduler state from the cell records.
+
+        Done/dead cells keep their verdicts; everything else (including
+        cells that were leased when the index died — leases cannot be
+        reconstructed) goes back to pending.  An unreadable cell record
+        is marked dead with cause, never silently dropped; a later
+        resubmission of its spec resurrects it.  Counters restart from
+        zero, with ``index_rebuilds`` recording that history was lost.
+        """
+        index: Dict = {"seq": 0, "pending": [], "leases": {}, "states": {},
+                       "counters": {"index_rebuilds": 1}}
+        cells_dir = self.root / "cells"
+        if not cells_dir.is_dir():
+            return index
+        records = []
+        for path in sorted(cells_dir.glob("*.json")):
+            digest = path.stem
+            cell = _read_json(path)
+            if cell is None:
+                index["states"][digest] = CELL_DEAD
+                self._count(index, "corrupt_cells")
+                continue
+            if not cell.get("jobs") and not cell.get("finished"):
+                continue  # cancelled-and-dropped: no live job wants it
+            records.append((cell.get("created") or 0, digest, cell))
+        for _created, digest, cell in sorted(records,
+                                             key=lambda r: (r[0], r[1])):
+            if cell.get("finished") is not None:
+                index["states"][digest] = (
+                    CELL_DONE if cell.get("error") is None else CELL_DEAD)
+                continue
+            index["seq"] += 1
+            index["pending"].append(
+                [cell.get("priority", 0), index["seq"], digest])
+            index["states"][digest] = CELL_PENDING
+        return index
+
     def _save_index(self, index: Dict) -> None:
         _write_json(self._index_path, index)
+        if self.faults is not None:
+            self.faults.after_index_write(self._index_path)
+
+    def _write_cell(self, digest: str, cell: Dict) -> None:
+        path = self._cell_path(digest)
+        _write_json(path, cell)
+        if self.faults is not None:
+            self.faults.after_cell_write(path)
 
     @staticmethod
     def _count(index: Dict, key: str, delta: int = 1) -> None:
@@ -243,7 +321,7 @@ class JobQueue:
                     if job_id not in cell["jobs"]:
                         cell["jobs"].append(job_id)
                     cell["priority"] = max(cell["priority"], priority)
-                    _write_json(self._cell_path(digest), cell)
+                    self._write_cell(digest, cell)
                     if state == CELL_DONE:
                         warm += 1
                     else:
@@ -272,11 +350,16 @@ class JobQueue:
                     warm += 1
                     self._count(index, "warm_hits")
                 else:
+                    # Drop any stale pending entry for this digest (a
+                    # resurrection over a corrupt record must not queue
+                    # the cell twice).
+                    index["pending"] = [entry for entry in index["pending"]
+                                        if entry[2] != digest]
                     index["seq"] += 1
                     index["pending"].append([priority, index["seq"], digest])
                     index["states"][digest] = CELL_PENDING
                     new += 1
-                _write_json(self._cell_path(digest), record)
+                self._write_cell(digest, record)
             _write_json(self._job_path(job_id), {
                 "id": job_id,
                 "label": label,
@@ -307,11 +390,18 @@ class JobQueue:
             while index["pending"] and len(leases) < max_cells:
                 _priority, _seq, digest = index["pending"].pop(0)
                 cell = _read_json(self._cell_path(digest))
-                if cell is None:  # orphaned index entry
-                    index["states"].pop(digest, None)
+                if cell is None:
+                    if self._cell_path(digest).exists():
+                        # Unreadable cell record (torn write): fail the
+                        # cell loudly — dead with cause — rather than
+                        # silently losing it.  A resubmission of the
+                        # spec resurrects it with a fresh record.
+                        self._quarantine_locked(index, digest, now)
+                    else:  # orphaned index entry
+                        index["states"].pop(digest, None)
                     continue
                 cell["attempts"] += 1
-                _write_json(self._cell_path(digest), cell)
+                self._write_cell(digest, cell)
                 expires = now + self.lease
                 index["leases"][digest] = {
                     "owner": owner, "expires": expires,
@@ -334,13 +424,16 @@ class JobQueue:
             del index["leases"][digest]
             cell = _read_json(self._cell_path(digest))
             if cell is None:
-                index["states"].pop(digest, None)
+                if self._cell_path(digest).exists():
+                    self._quarantine_locked(index, digest, now)
+                else:
+                    index["states"].pop(digest, None)
                 continue
             if cell["attempts"] >= self.max_attempts:
                 cell["error"] = (f"lease expired after attempt "
                                  f"{cell['attempts']}/{self.max_attempts}")
                 cell["finished"] = now
-                _write_json(self._cell_path(digest), cell)
+                self._write_cell(digest, cell)
                 index["states"][digest] = CELL_DEAD
                 self._count(index, "dead")
             else:
@@ -359,9 +452,123 @@ class JobQueue:
             self._save_index(index)
         return requeued
 
+    def _quarantine_locked(self, index: Dict, digest: str,
+                           now: float) -> None:
+        """An unreadable cell record fails loudly: dead with cause.
+
+        The replacement record preserves the cause for ``job()`` detail;
+        a later resubmission of the spec resurrects the cell (dead cells
+        always get a fresh record and a fresh attempt budget).
+        """
+        index["leases"].pop(digest, None)
+        index["pending"] = [entry for entry in index["pending"]
+                            if entry[2] != digest]
+        index["states"][digest] = CELL_DEAD
+        self._count(index, "corrupt_cells")
+        self._write_cell(digest, {
+            "digest": digest, "spec": None, "priority": 0, "jobs": [],
+            "attempts": 0,
+            "error": "unreadable cell record (torn write?); "
+                     "resubmit the spec to retry",
+            "created": now, "finished": now, "elapsed": None,
+        })
+
     # -- settlement --------------------------------------------------------------
-    def _settle(self, digest: str, owner: str, state: str,
-                error: Optional[str], elapsed: Optional[float]) -> bool:
+    #: EWMA smoothing factor for per-job cell-time estimates.
+    ETA_ALPHA = 0.3
+
+    def complete_with(self, digest: str, owner: str,
+                      publish: Optional[Callable[[Spec], None]] = None,
+                      elapsed: Optional[float] = None,
+                      spec_fallback: Optional[Dict] = None) -> str:
+        """Publish a result and settle its lease in one critical section.
+
+        Returns one of:
+
+        * ``"accepted"`` — *owner* held the lease; *publish* ran (the
+          store write-through) and the cell is done;
+        * ``"duplicate"`` — the cell was already done: a retried
+          ``complete`` whose first reply was lost, or a worker whose
+          expired-lease cell was re-run by someone else.  *publish* is
+          **not** re-run, keeping the store's put counter exactly-once;
+        * ``"stale"`` — *owner* lost the lease and the cell moved on
+          (requeued or quarantined); nothing is published.
+
+        Running *publish* under the queue lock makes publish+settle
+        atomic against the reaper and other settlers: a lease cannot
+        expire between the store write and the state flip, so no
+        interleaving yields two publishes of one cell.  *spec_fallback*
+        (the spec dict the worker's lease carried) repairs an
+        unreadable cell record at settlement time.
+        """
+        now = self.clock()
+        with self._locked():
+            index = self._load_index()
+            lease = index["leases"].get(digest)
+            if lease is None or lease["owner"] != owner:
+                if index["states"].get(digest) == CELL_DONE:
+                    self._count(index, "duplicate_settlements")
+                    self._save_index(index)
+                    return "duplicate"
+                # Stale worker: its lease expired and the cell moved on.
+                self._count(index, "stale_settlements")
+                self._save_index(index)
+                return "stale"
+            cell = _read_json(self._cell_path(digest))
+            if cell is None:
+                if spec_fallback is None:
+                    # Unreadable record and nothing to repair it with.
+                    self._quarantine_locked(index, digest, now)
+                    self._save_index(index)
+                    return "stale"
+                cell = {
+                    "digest": digest, "spec": spec_fallback,
+                    "priority": 0, "jobs": [],
+                    "attempts": lease.get("attempt", 1),
+                    "error": None, "created": now,
+                    "finished": None, "elapsed": None,
+                }
+                self._count(index, "repaired_cells")
+            del index["leases"][digest]
+            if publish is not None:
+                publish(spec_from_dict(cell["spec"]))
+            cell["error"] = None
+            cell["finished"] = now
+            cell["elapsed"] = elapsed
+            index["states"][digest] = CELL_DONE
+            self._count(index, "executed")
+            self._write_cell(digest, cell)
+            if elapsed is not None:
+                self._note_cell_time_locked(cell, elapsed)
+            self._save_index(index)
+        return "accepted"
+
+    def _note_cell_time_locked(self, cell: Dict, elapsed: float) -> None:
+        """Fold a completed cell's wall time into each referencing
+        job's EWMA — the timing history behind :meth:`job`'s ``eta``."""
+        for job_id in cell.get("jobs") or ():
+            record = _read_json(self._job_path(job_id))
+            if record is None:
+                continue
+            timing = record.get("timing") or {"ewma": None, "count": 0}
+            if timing.get("ewma") is None:
+                timing["ewma"] = elapsed
+            else:
+                timing["ewma"] = (self.ETA_ALPHA * elapsed
+                                  + (1 - self.ETA_ALPHA) * timing["ewma"])
+            timing["count"] = timing.get("count", 0) + 1
+            record["timing"] = timing
+            _write_json(self._job_path(job_id), record)
+
+    def complete(self, digest: str, owner: str,
+                 elapsed: Optional[float] = None) -> bool:
+        """Mark a leased cell done.  False if *owner* lost the lease
+        and the cell is not already done."""
+        return self.complete_with(digest, owner, elapsed=elapsed) in (
+            "accepted", "duplicate")
+
+    def fail(self, digest: str, owner: str, error: str) -> bool:
+        """Report a cell failure; requeues until ``max_attempts``."""
         now = self.clock()
         with self._locked():
             index = self._load_index()
@@ -374,16 +581,10 @@ class JobQueue:
             del index["leases"][digest]
             cell = _read_json(self._cell_path(digest))
             if cell is None:
-                index["states"].pop(digest, None)
+                self._quarantine_locked(index, digest, now)
                 self._save_index(index)
                 return False
-            if state == CELL_DONE:
-                cell["error"] = None
-                cell["finished"] = now
-                cell["elapsed"] = elapsed
-                index["states"][digest] = CELL_DONE
-                self._count(index, "executed")
-            elif cell["attempts"] >= self.max_attempts:
+            if cell["attempts"] >= self.max_attempts:
                 cell["error"] = error
                 cell["finished"] = now
                 index["states"][digest] = CELL_DEAD
@@ -391,21 +592,13 @@ class JobQueue:
             else:
                 cell["error"] = error
                 index["seq"] += 1
-                index["pending"].append([cell["priority"], index["seq"], digest])
+                index["pending"].append(
+                    [cell["priority"], index["seq"], digest])
                 index["states"][digest] = CELL_PENDING
                 self._count(index, "requeued")
-            _write_json(self._cell_path(digest), cell)
+            self._write_cell(digest, cell)
             self._save_index(index)
         return True
-
-    def complete(self, digest: str, owner: str,
-                 elapsed: Optional[float] = None) -> bool:
-        """Mark a leased cell done.  False if *owner* lost the lease."""
-        return self._settle(digest, owner, CELL_DONE, None, elapsed)
-
-    def fail(self, digest: str, owner: str, error: str) -> bool:
-        """Report a cell failure; requeues until ``max_attempts``."""
-        return self._settle(digest, owner, CELL_PENDING, error, None)
 
     # -- jobs --------------------------------------------------------------------
     def job(self, job_id: str) -> Optional[Dict]:
@@ -420,7 +613,9 @@ class JobQueue:
             state = index["states"].get(digest, CELL_PENDING)
             counts[state] = counts.get(state, 0) + 1
             if state == CELL_DEAD:
-                cell = _read_json(self._cell_path(digest)) or {}
+                cell = _read_json(self._cell_path(digest))
+                if cell is None:
+                    cell = {"error": "unreadable cell record (torn write?)"}
                 failed.append({"digest": digest,
                                "spec": cell.get("spec"),
                                "error": cell.get("error")})
@@ -437,6 +632,13 @@ class JobQueue:
             state = JOB_RUNNING
         else:
             state = JOB_PENDING
+        # Progress ETA: EWMA of completed-cell wall times, scaled by the
+        # work left and divided across the cells currently in flight.
+        ewma = (record.get("timing") or {}).get("ewma")
+        remaining = counts[CELL_PENDING] + counts[CELL_LEASED]
+        eta = None
+        if ewma is not None and remaining:
+            eta = ewma * remaining / max(1, counts[CELL_LEASED])
         return {
             "id": job_id,
             "label": record.get("label", ""),
@@ -449,6 +651,8 @@ class JobQueue:
             "leased": counts[CELL_LEASED],
             "dead": counts[CELL_DEAD],
             "failed_cells": failed,
+            "cell_ewma": ewma,
+            "eta": eta,
         }
 
     def jobs(self) -> List[Dict]:
@@ -478,7 +682,7 @@ class JobQueue:
                     continue
                 if job_id in cell["jobs"]:
                     cell["jobs"].remove(job_id)
-                _write_json(self._cell_path(digest), cell)
+                self._write_cell(digest, cell)
                 # Drop pending cells that no remaining job references.
                 # (Leased cells run to completion: their result is
                 # cached and harmless; done/dead cells keep their state.)

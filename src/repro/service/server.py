@@ -19,12 +19,25 @@ Division of labour:
 * ``repro serve --workers N`` forks N local worker processes that
   connect back over the same socket protocol as remote ones — one code
   path, exercised everywhere.
+
+Robustness: a shared-secret *token* (``--token`` /
+``$REPRO_SERVICE_TOKEN``) gates every op when configured — mandatory
+for non-loopback binds.  When the queue directory turns unhealthy
+(``OSError`` out of a mutating op) the service degrades to read-only:
+``status``/``fetch``/``stats``/``ping`` keep answering while mutations
+are rejected with a typed ``degraded`` error, and the reaper thread
+doubles as a heal probe that restores full service once the queue dir
+answers again.  An optional
+:class:`~repro.service.faults.FaultInjector` threads seeded transport
+faults through the handler — all ``None``-checked, zero cost when off.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import socketserver
+import struct
 import threading
 import time
 from pathlib import Path
@@ -41,12 +54,18 @@ TERMINAL_JOB_STATES = (JOB_DONE, JOB_FAILED, JOB_CANCELLED)
 WATCH_INTERVAL_MIN = 0.05
 WATCH_INTERVAL_MAX = 5.0
 
+#: Ops refused while the service is degraded to read-only.
+MUTATING_OPS = frozenset({
+    "submit", "claim", "complete", "fail", "cancel", "heartbeat",
+})
+
 
 class _Handler(socketserver.StreamRequestHandler):
     """One connection: read one request line, answer, hang up."""
 
     def handle(self) -> None:
         service: "SweepService" = self.server.service  # type: ignore[attr-defined]
+        self._mangle = None
         try:
             line = self.rfile.readline()
         except OSError:
@@ -56,11 +75,20 @@ class _Handler(socketserver.StreamRequestHandler):
         try:
             request = json.loads(line)
             op = request.get("op")
-            handler = service.ops.get(op)
-            if handler is None:
-                self._reply({"ok": False, "error": f"unknown op {op!r}"})
-                return
-            handler(request, self._reply)
+            faults = service.faults
+            action = faults.transport_action(op) if faults is not None \
+                else None
+            if action is not None:
+                kind, param = action
+                if kind in ("refuse", "reset"):
+                    # Injected connection failure: RST before answering.
+                    self._hard_close()
+                    return
+                if kind == "delay":
+                    time.sleep(param)  # hung reply: outlive client timeout
+                elif kind in ("drop", "partial"):
+                    self._mangle = kind  # sabotage the reply line below
+            service.dispatch(op, request, self._reply)
         except Exception as exc:  # one bad request must not kill the server
             try:
                 self._reply({"ok": False,
@@ -69,8 +97,28 @@ class _Handler(socketserver.StreamRequestHandler):
                 pass
 
     def _reply(self, payload: Dict) -> None:
-        self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
+        data = json.dumps(payload).encode("utf-8") + b"\n"
+        mangle, self._mangle = self._mangle, None  # one-shot
+        if mangle == "drop":
+            self._hard_close()  # reply vanishes: truncated stream
+            return
+        if mangle == "partial":
+            # Half a JSON line, no newline terminator, then RST.
+            self.wfile.write(data[:max(1, len(data) // 2)].rstrip(b"\n"))
+            self.wfile.flush()
+            self._hard_close()
+            return
+        self.wfile.write(data)
         self.wfile.flush()
+
+    def _hard_close(self) -> None:
+        try:
+            self.connection.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                struct.pack("ii", 1, 0))  # RST, not FIN
+            self.connection.close()
+        except OSError:
+            pass
 
 
 class _Server(socketserver.ThreadingTCPServer):
@@ -84,9 +132,16 @@ class SweepService:
     def __init__(self, queue: Optional[JobQueue] = None,
                  store: Optional[ResultStore] = None,
                  host: str = "127.0.0.1", port: int = 0,
-                 lease: float = DEFAULT_LEASE):
+                 lease: float = DEFAULT_LEASE,
+                 token: Optional[str] = None,
+                 faults=None):
         self.queue = queue or JobQueue(lease=lease)
         self.store = store or ResultStore()
+        self.token = token
+        #: Optional :class:`~repro.service.faults.FaultInjector`.
+        self.faults = faults
+        #: Cause string while degraded to read-only; None when healthy.
+        self.degraded: Optional[str] = None
         self.server = _Server((host, port), _Handler)
         self.server.service = self  # type: ignore[attr-defined]
         self.ops = {
@@ -138,14 +193,56 @@ class SweepService:
     def _reap_loop(self, interval: float) -> None:
         while not self._stopping.wait(interval):
             try:
-                self.queue.reap()
+                if self.degraded is not None:
+                    self.check_health()  # heal probe while read-only
+                else:
+                    self.queue.reap()
             except Exception:
                 pass  # the reaper must outlive any transient queue error
+
+    # -- dispatch & health -------------------------------------------------------
+    def dispatch(self, op: Optional[str], request: Dict, reply) -> None:
+        """Auth gate → degraded gate → op handler (+ degrade on OSError)."""
+        if self.token is not None and request.get("token") != self.token:
+            reply({"ok": False, "kind": "auth",
+                   "error": "missing or invalid service token "
+                            "(--token / $REPRO_SERVICE_TOKEN)"})
+            return
+        handler = self.ops.get(op)
+        if handler is None:
+            reply({"ok": False, "error": f"unknown op {op!r}"})
+            return
+        if self.degraded is not None and op in MUTATING_OPS:
+            reply({"ok": False, "kind": "degraded",
+                   "error": f"service is read-only while the queue dir "
+                            f"is unhealthy ({self.degraded}); "
+                            f"status/fetch/stats still served"})
+            return
+        try:
+            handler(request, reply)
+        except OSError as exc:
+            if op in MUTATING_OPS:
+                # The queue dir is sick: stop mutating, keep reads up.
+                self.degraded = f"{type(exc).__name__}: {exc}"
+            raise
+
+    def check_health(self) -> bool:
+        """Probe the queue dir with a full read-modify-write; heal or
+        (re-)degrade accordingly."""
+        try:
+            self.queue.reap()
+        except OSError as exc:
+            self.degraded = f"{type(exc).__name__}: {exc}"
+            return False
+        if self.degraded is not None:
+            self.degraded = None
+        return True
 
     # -- operations --------------------------------------------------------------
     def _op_ping(self, request: Dict, reply) -> None:
         reply({"ok": True, "service": "repro", "address": self.address,
-               "fingerprint": self.store.fingerprint[:16]})
+               "fingerprint": self.store.fingerprint[:16],
+               "degraded": self.degraded})
 
     def _op_submit(self, request: Dict, reply) -> None:
         specs = [spec_from_dict(data) for data in request.get("specs", [])]
@@ -210,7 +307,8 @@ class SweepService:
 
     def _op_stats(self, request: Dict, reply) -> None:
         reply({"ok": True, "queue": self.queue.stats(),
-               "store": self.store.info()})
+               "store": self.store.info(),
+               "degraded": self.degraded})
 
     def _op_claim(self, request: Dict, reply) -> None:
         owner = request.get("owner") or "anonymous"
@@ -224,21 +322,33 @@ class SweepService:
     def _op_complete(self, request: Dict, reply) -> None:
         owner = request["owner"]
         digest = request["digest"]
-        spec_data = None
-        cell = self.queue._cell_path(digest)  # read-only peek for the spec
-        try:
-            spec_data = json.loads(cell.read_text())["spec"]
-        except (OSError, ValueError, KeyError):
-            pass
-        accepted = False
-        if spec_data is not None:
-            spec = spec_from_dict(spec_data)
-            # Write-through first (see LocalBackend.complete for why).
-            self.store.put(spec, decode_result(request["result"]),
-                           request.get("elapsed"))
-            accepted = self.queue.complete(digest, owner,
-                                           request.get("elapsed"))
-        reply({"ok": True, "accepted": accepted})
+        elapsed = request.get("elapsed")
+        result = decode_result(request["result"])
+        # Publish + settle in one queue critical section: the store
+        # write-through happens iff this (digest, owner) still holds
+        # the lease, so a duplicate/stale complete never double-puts.
+        outcome = self.queue.complete_with(
+            digest, owner,
+            publish=lambda spec: self.store.put(spec, result, elapsed),
+            elapsed=elapsed,
+            spec_fallback=request.get("spec"))
+        if outcome == "duplicate":
+            # The queue says done; heal the store if it lost the entry
+            # (`cache gc` between the first complete and this retry).
+            spec_data = request.get("spec")
+            if spec_data is None:
+                try:
+                    spec_data = json.loads(
+                        self.queue._cell_path(digest).read_text())["spec"]
+                except (OSError, ValueError, KeyError):
+                    spec_data = None
+            if spec_data is not None:
+                spec = spec_from_dict(spec_data)
+                if not self.store.contains(spec):
+                    self.store.put(spec, result, elapsed)
+        reply({"ok": True,
+               "accepted": outcome in ("accepted", "duplicate"),
+               "outcome": outcome})
 
     def _op_fail(self, request: Dict, reply) -> None:
         accepted = self.queue.fail(request["digest"], request["owner"],
@@ -246,8 +356,10 @@ class SweepService:
         reply({"ok": True, "accepted": accepted})
 
     def _op_heartbeat(self, request: Dict, reply) -> None:
+        errors = request.get("errors")
         self.queue.heartbeat(str(request.get("host", "unknown")),
-                             workers=int(request.get("workers", 1)))
+                             workers=int(request.get("workers", 1)),
+                             meta={"errors": errors} if errors else None)
         reply({"ok": True})
 
     def _op_shutdown(self, request: Dict, reply) -> None:
@@ -260,6 +372,7 @@ def run_service(host: str = "127.0.0.1", port: int = 0,
                 queue_root: Optional[Path] = None,
                 store_root: Optional[Path] = None,
                 lease: float = DEFAULT_LEASE,
+                token: Optional[str] = None,
                 announce=print) -> int:
     """``repro serve``: coordinator + N local workers, until interrupted."""
     import signal
@@ -274,16 +387,21 @@ def run_service(host: str = "127.0.0.1", port: int = 0,
     queue = JobQueue(root=queue_root, lease=lease)
     store = ResultStore(root=store_root)
     service = SweepService(queue=queue, store=store, host=host, port=port,
-                           lease=lease)
+                           lease=lease, token=token)
     service.start()
+    if token is None and host not in ("127.0.0.1", "localhost", "::1"):
+        announce("warning: binding a non-loopback address without "
+                 "--token / $REPRO_SERVICE_TOKEN — anyone who can reach "
+                 "the socket can submit and claim work")
     announce(f"repro service on {service.address} "
              f"(queue {queue.root}, store {store.root}, "
-             f"fingerprint {code_fingerprint()[:16]})")
+             f"fingerprint {code_fingerprint()[:16]}"
+             f"{', token auth on' if token else ''})")
     processes = []
     if workers:
         from .worker import spawn_workers
 
-        processes = spawn_workers(service.address, workers)
+        processes = spawn_workers(service.address, workers, token=token)
         announce(f"started {workers} local worker process(es)")
     try:
         service.wait()

@@ -17,19 +17,26 @@ Worker death is survived by construction: a killed worker's leases
 expire and the queue requeues its cells; a worker whose lease expired
 mid-run gets its late ``complete`` rejected (the cell already moved
 on) and simply claims fresh work.
+
+Swallowed errors are swallowed *loudly*: every exception the loop
+survives (missed heartbeat, failed claim, rejected complete) lands in
+an :class:`ErrorTally` — counted per category, rate-limit-logged to
+stderr, and shipped to the coordinator inside heartbeats so
+``repro status`` surfaces per-host error counters.
 """
 
 from __future__ import annotations
 
 import os
 import socket
+import sys
 import time
 import uuid
 from typing import Callable, Dict, List, Optional
 
 from ..harness.jobs import execute_spec
 from ..harness.serialize import decode_result, encode_result
-from ..harness.spec import spec_from_dict
+from ..harness.spec import spec_to_dict
 from ..harness.store import ResultStore
 from .queue import JobQueue, Lease
 
@@ -39,6 +46,8 @@ DEFAULT_POLL = 0.25
 DEFAULT_BATCH = 2
 #: Seconds between host heartbeats.
 HEARTBEAT_EVERY = 5.0
+#: Seconds between repeated log lines for one error category.
+ERROR_LOG_EVERY = 5.0
 
 
 def default_host_id() -> str:
@@ -49,6 +58,46 @@ def make_owner(host: Optional[str] = None) -> str:
     """A lease-owner identity unique per worker process incarnation."""
     return (f"{host or default_host_id()}/pid{os.getpid()}/"
             f"{uuid.uuid4().hex[:6]}")
+
+
+def _log_stderr(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+class ErrorTally:
+    """Per-category counters for errors the worker loop survives.
+
+    Replaces the loop's old ``except Exception: pass`` blindspots:
+    each swallowed exception is counted, logged at most once per
+    *min_interval* seconds per category, and the snapshot rides back
+    to the coordinator in heartbeats.
+    """
+
+    def __init__(self, log: Callable[[str], None] = _log_stderr,
+                 min_interval: float = ERROR_LOG_EVERY,
+                 clock: Callable[[], float] = time.monotonic):
+        self.counts: Dict[str, int] = {}
+        self.log = log
+        self.min_interval = min_interval
+        self.clock = clock
+        self._last_logged: Dict[str, float] = {}
+
+    def record(self, category: str, exc: Exception) -> None:
+        self.counts[category] = self.counts.get(category, 0) + 1
+        now = self.clock()
+        last = self._last_logged.get(category)
+        if last is None or now - last >= self.min_interval:
+            self._last_logged[category] = now
+            self.log(f"repro worker: {category} error "
+                     f"#{self.counts[category]}: "
+                     f"{type(exc).__name__}: {exc}")
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
 
 
 class LocalBackend:
@@ -66,17 +115,23 @@ class LocalBackend:
 
     def complete(self, owner: str, lease: Lease, payload: Dict,
                  elapsed: float) -> bool:
-        # Publish the result before surrendering the lease: a requeue
-        # between put and complete only costs a redundant execution,
-        # while the reverse order could mark a cell done with no result.
-        self.store.put(lease.spec, decode_result(payload), elapsed)
-        return self.queue.complete(lease.digest, owner, elapsed)
+        # Publish + settle atomically: the store put runs inside the
+        # queue's critical section iff this owner still holds the
+        # lease, so an expired or duplicate complete never double-puts.
+        result = decode_result(payload)
+        outcome = self.queue.complete_with(
+            lease.digest, owner,
+            publish=lambda spec: self.store.put(spec, result, elapsed),
+            elapsed=elapsed,
+            spec_fallback=spec_to_dict(lease.spec))
+        return outcome in ("accepted", "duplicate")
 
     def fail(self, owner: str, lease: Lease, error: str) -> bool:
         return self.queue.fail(lease.digest, owner, error)
 
-    def heartbeat(self) -> None:
-        self.queue.heartbeat(self.host, workers=self.workers)
+    def heartbeat(self, errors: Optional[Dict] = None) -> None:
+        self.queue.heartbeat(self.host, workers=self.workers,
+                             meta={"errors": errors} if errors else None)
 
 
 class RemoteBackend:
@@ -93,13 +148,15 @@ class RemoteBackend:
 
     def complete(self, owner: str, lease: Lease, payload: Dict,
                  elapsed: float) -> bool:
-        return self.client.complete(owner, lease.digest, payload, elapsed)
+        return self.client.complete(owner, lease.digest, payload, elapsed,
+                                    spec=spec_to_dict(lease.spec))
 
     def fail(self, owner: str, lease: Lease, error: str) -> bool:
         return self.client.fail(owner, lease.digest, error)
 
-    def heartbeat(self) -> None:
-        self.client.heartbeat(self.host, workers=self.workers)
+    def heartbeat(self, errors: Optional[Dict] = None) -> None:
+        self.client.heartbeat(self.host, workers=self.workers,
+                              errors=errors)
 
 
 def run_one(lease: Lease, executor: Callable = execute_spec) -> Dict:
@@ -112,27 +169,37 @@ def worker_loop(backend, owner: Optional[str] = None,
                 poll: float = DEFAULT_POLL,
                 batch: int = DEFAULT_BATCH,
                 stop: Optional[Callable[[], bool]] = None,
-                max_cells: Optional[int] = None) -> int:
+                max_cells: Optional[int] = None,
+                errors: Optional[ErrorTally] = None,
+                hooks=None) -> int:
     """Pull-execute-report until *stop* says so; returns cells executed.
 
     *stop* is polled between cells (a worker never abandons a cell it
     started); *max_cells* bounds the loop for tests and drain runs.
+    *errors* collects the exceptions the loop survives; *hooks*
+    (:class:`~repro.service.faults.WorkerFaultHooks`) plants injected
+    crashes at the ``mid-lease``/``mid-complete`` crashpoints — those
+    raise :class:`~repro.service.faults.InjectedWorkerCrash` and
+    propagate, simulating a worker dying with work in flight.
     """
     owner = owner or make_owner(getattr(backend, "host", None))
+    tally = errors if errors is not None else ErrorTally()
     executed = 0
     last_beat = 0.0
     while not (stop and stop()):
         now = time.monotonic()
         if now - last_beat >= HEARTBEAT_EVERY or last_beat == 0.0:
             try:
-                backend.heartbeat()
-            except Exception:
-                pass  # a missed heartbeat must not kill the worker
+                backend.heartbeat(errors=tally.snapshot() or None)
+            except Exception as exc:
+                # A missed heartbeat must not kill the worker.
+                tally.record("heartbeat", exc)
             last_beat = now
         try:
             leases = backend.claim(owner, batch)
-        except Exception:
+        except Exception as exc:
             # Coordinator briefly unreachable: back off, try again.
+            tally.record("claim", exc)
             time.sleep(poll)
             continue
         if not leases:
@@ -140,6 +207,8 @@ def worker_loop(backend, owner: Optional[str] = None,
                 break
             time.sleep(poll)
             continue
+        if hooks is not None:
+            hooks.crashpoint("mid-lease")  # die holding fresh leases
         for lease in leases:
             started = time.monotonic()
             try:
@@ -148,16 +217,18 @@ def worker_loop(backend, owner: Optional[str] = None,
                 try:
                     backend.fail(owner, lease,
                                  f"{type(exc).__name__}: {exc}")
-                except Exception:
-                    pass
+                except Exception as fail_exc:
+                    tally.record("fail", fail_exc)
                 continue
             elapsed = time.monotonic() - started
+            if hooks is not None:
+                hooks.crashpoint("mid-complete")  # die result-in-hand
             try:
                 backend.complete(owner, lease, payload, elapsed)
-            except Exception:
+            except Exception as exc:
                 # The lease may have expired mid-run; the requeued cell
                 # will be re-executed by someone holding a live lease.
-                pass
+                tally.record("complete", exc)
             executed += 1
             if max_cells is not None and executed >= max_cells:
                 return executed
@@ -167,10 +238,10 @@ def worker_loop(backend, owner: Optional[str] = None,
 
 
 def remote_worker_main(addr: str, host: Optional[str] = None,
-                       workers: int = 1) -> int:
+                       workers: int = 1,
+                       token: Optional[str] = None) -> int:
     """Entry point for one remote worker process (``repro work``)."""
     import signal
-    import sys
 
     from .api import ServiceClient
 
@@ -178,11 +249,13 @@ def remote_worker_main(addr: str, host: Optional[str] = None,
     # (which raises KeyboardInterrupt); exit quietly on terminate
     # instead of unwinding with a traceback.
     signal.signal(signal.SIGTERM, lambda signum, frame: sys.exit(0))
-    backend = RemoteBackend(ServiceClient(addr), host=host, workers=workers)
+    backend = RemoteBackend(ServiceClient(addr, token=token),
+                            host=host, workers=workers)
     return worker_loop(backend)
 
 
-def spawn_workers(addr: str, count: int, host: Optional[str] = None):
+def spawn_workers(addr: str, count: int, host: Optional[str] = None,
+                  token: Optional[str] = None):
     """Fork *count* worker processes against *addr*; returns them."""
     import multiprocessing
 
@@ -193,7 +266,8 @@ def spawn_workers(addr: str, count: int, host: Optional[str] = None):
     processes = []
     for _ in range(count):
         process = context.Process(
-            target=remote_worker_main, args=(addr, host, count), daemon=True)
+            target=remote_worker_main, args=(addr, host, count, token),
+            daemon=True)
         process.start()
         processes.append(process)
     return processes

@@ -1,0 +1,413 @@
+"""Service-chaos campaigns: seeded fault schedules against a live topology.
+
+One *schedule* is a full serve/work deployment — a real
+:class:`~repro.service.server.SweepService` on a loopback socket, a
+fresh queue + store, N worker threads speaking the wire protocol —
+driven by one :class:`~repro.service.faults.ServiceFaultSpec`.  The
+schedule runs in two phases:
+
+1. **chaos** — the injector is armed: connections drop, replies are
+   truncated, ``index.json`` is torn, workers crash holding leases,
+   the coordinator restarts with work in flight;
+2. **drain** — the injector is disarmed, the cells are resubmitted,
+   and healthy workers finish whatever the chaos left behind.
+
+Then the invariants are asserted on the wreckage:
+
+* **exactly-once**: the store's lifetime ``puts`` counter equals the
+  number of distinct cells — no fault schedule may yield a double
+  execution that publishes twice;
+* **zero lost cells**: every submitted spec has a result in the store;
+* **all leases settled**: no pending or leased cells remain;
+* **no dead-without-cause cells**: the drained queue has zero dead
+  cells (quarantined corpses are resurrected by the drain resubmit).
+
+``run_service_campaign`` runs many seeded schedules and additionally
+witnesses **bit-replayability**: every schedule's
+:meth:`~repro.service.faults.FaultPlan.digest` is re-derived from a
+fresh spec and must match, so a recorded seed replays the identical
+fault schedule byte for byte.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..harness.spec import CellSpec, spec_digest
+from ..harness.store import ResultStore
+from ..service.api import ServiceClient, ServiceError
+from ..service.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedWorkerCrash,
+    ServiceFaultSpec,
+    SkewedClock,
+    WorkerFaultHooks,
+)
+from ..service.queue import JobQueue
+from ..service.server import SweepService
+from ..service.worker import ErrorTally, RemoteBackend, worker_loop
+
+#: Seconds the armed (chaos) phase may run before draining.
+CHAOS_PHASE_CAP = 3.0
+#: Seconds the drain phase gets to reach a clean queue.
+DRAIN_DEADLINE = 30.0
+#: Attempt budget per cell — generous, so repeated injected lease
+#: expiries degrade to retries instead of dead cells.
+CHAOS_MAX_ATTEMPTS = 10
+
+
+def chaos_cells(spec: ServiceFaultSpec) -> List[CellSpec]:
+    """A deterministic set of ``spec.cells`` distinct cell specs."""
+    bases = [(rf, scheme)
+             for rf in (40, 52, 64, 128)
+             for scheme in ("baseline", "nonspec_er", "atr", "combined")]
+    out: List[CellSpec] = []
+    instructions = 500
+    while len(out) < spec.cells:
+        for rf, scheme in bases:
+            if len(out) >= spec.cells:
+                break
+            out.append(CellSpec("505.mcf_r", rf, scheme, instructions))
+        instructions += 100  # next lap: distinct digests
+    return out
+
+
+def _chaos_executor(cell_spec) -> Dict:
+    """Fast fake cell: the campaign validates the service, not the
+    simulator.  The small sleep keeps leases in flight long enough for
+    crash and skew faults to land on real work."""
+    time.sleep(0.01)
+    return {"benchmark": cell_spec.benchmark, "scheme": cell_spec.scheme,
+            "rf": cell_spec.rf_size, "n": cell_spec.instructions}
+
+
+@dataclass
+class ScheduleResult:
+    """Verdict of one seeded fault schedule."""
+
+    seed: int
+    intensity: str
+    described: str
+    plan_digest: str
+    classes: List[str]
+    ok: bool
+    failures: List[str]
+    fired: Dict[str, int]
+    puts: int
+    cells: int
+    worker_respawns: int
+    coordinator_restarts: int
+    replayable: bool
+    duration: float
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        fired = sum(self.fired.values())
+        return (f"{self.described:34} plan {self.plan_digest[:10]} "
+                f"{fired:3} faults fired "
+                f"({'+'.join(self.classes) or 'none'}) "
+                f"puts {self.puts}/{self.cells} "
+                f"respawn {self.worker_respawns} "
+                f"restart {self.coordinator_restarts} "
+                f"[{status}]")
+
+
+class _Topology:
+    """One live serve/work deployment under an injector's thumb."""
+
+    def __init__(self, spec: ServiceFaultSpec, root: Path):
+        self.spec = spec
+        self.injector = FaultInjector(spec)
+        self.clock = SkewedClock()
+        self.injector.attach_clock(self.clock)
+        self.store = ResultStore(root=root / "store")
+        self.queue = JobQueue(root=root / "queue", lease=spec.lease,
+                              max_attempts=CHAOS_MAX_ATTEMPTS,
+                              clock=self.clock, faults=self.injector)
+        self.service = SweepService(queue=self.queue, store=self.store,
+                                    host="127.0.0.1", port=0,
+                                    faults=self.injector)
+        self.service.start(reaper_interval=0.05)
+        self.port = int(self.service.address.rsplit(":", 1)[1])
+        self.restarts = 0
+        self.respawns = 0
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self.worker_errors = ErrorTally(log=lambda _msg: None,
+                                        min_interval=0.0)
+        for slot in range(spec.workers):
+            thread = threading.Thread(
+                target=self._worker_thread, args=(slot,),
+                name=f"chaos-w{slot}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    @property
+    def address(self) -> str:
+        return f"127.0.0.1:{self.port}"
+
+    def client(self, retries: int = 6) -> ServiceClient:
+        return ServiceClient(self.address,
+                             timeout=self.spec.client_timeout,
+                             retries=retries)
+
+    def _worker_thread(self, slot: int) -> None:
+        """Run the worker loop; an injected crash kills this worker and
+        the supervisor (this loop) respawns a fresh incarnation with a
+        new owner identity — its abandoned leases expire and requeue."""
+        hooks = WorkerFaultHooks(self.injector, slot)
+        while not self._stop.is_set():
+            backend = RemoteBackend(self.client(retries=2),
+                                    host=f"chaos-w{slot}")
+            try:
+                worker_loop(backend, executor=_chaos_executor,
+                            poll=0.02, batch=2, stop=self._stop.is_set,
+                            errors=self.worker_errors, hooks=hooks)
+                return  # stop() requested
+            except InjectedWorkerCrash:
+                self.respawns += 1
+
+    def restart_coordinator(self) -> None:
+        """Kill the coordinator with leases in flight, then bring a new
+        incarnation up on the same port over the same queue/store."""
+        self.service.stop()
+        deadline = time.monotonic() + 5.0
+        while True:
+            try:
+                self.service = SweepService(
+                    queue=self.queue, store=self.store,
+                    host="127.0.0.1", port=self.port,
+                    faults=self.injector)
+                break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+        self.service.start(reaper_interval=0.05)
+        self.restarts += 1
+
+    def poll_restart(self) -> None:
+        if self.injector.take_restart_request():
+            self.restart_coordinator()
+
+    def close(self) -> None:
+        self._stop.set()
+        self.service.stop()
+        for thread in self._threads:
+            thread.join(5)
+
+
+def run_service_chaos_schedule(spec: ServiceFaultSpec,
+                               root: Path) -> ScheduleResult:
+    """One seeded schedule: chaos phase, drain phase, invariants."""
+    started = time.monotonic()
+    cells = chaos_cells(spec)
+    topo = _Topology(spec, Path(root))
+    failures: List[str] = []
+    try:
+        from ..harness.spec import spec_to_dict
+
+        spec_dicts = [spec_to_dict(cell) for cell in cells]
+
+        # -- chaos phase: submit and let the faults land ------------------
+        deadline = time.monotonic() + CHAOS_PHASE_CAP
+        job_id = None
+        while time.monotonic() < deadline:
+            topo.poll_restart()
+            try:
+                if job_id is None:
+                    job_id = topo.client().submit(
+                        spec_dicts, label=spec.describe())["job"]
+                status = topo.client().status(job_id)["job"]
+                if status["state"] in ("done", "failed"):
+                    break
+            except (ServiceError, OSError):
+                pass  # injected transport failure; keep the phase going
+            time.sleep(0.05)
+
+        # -- drain phase: faults off, heal everything ---------------------
+        topo.injector.disarm()
+        topo.poll_restart()
+        drain_client = topo.client(retries=8)
+        receipt = drain_client.submit(spec_dicts, label="drain")
+        drain_deadline = time.monotonic() + DRAIN_DEADLINE
+        final = None
+        while time.monotonic() < drain_deadline:
+            final = drain_client.status(receipt["job"])["job"]
+            if final["state"] in ("done", "failed"):
+                break
+            time.sleep(0.05)
+        if final is None or final["state"] != "done":
+            failures.append(
+                f"drain job did not complete: "
+                f"{final['state'] if final else 'no status'} "
+                f"(done {final and final.get('done')}, "
+                f"dead {final and final.get('dead')})")
+
+        # Let in-flight leases from the chaos job settle too.
+        quiesce_deadline = time.monotonic() + 5.0
+        while time.monotonic() < quiesce_deadline:
+            stats = topo.queue.stats()
+            if (stats["pending_queue"] == 0
+                    and stats["active_leases"] == 0):
+                break
+            time.sleep(0.05)
+
+        # -- invariants ---------------------------------------------------
+        stats = topo.queue.stats()
+        puts = topo.store.info()["counters"]["lifetime"]["puts"]
+        distinct = len({spec_digest(cell) for cell in cells})
+        if puts != distinct:
+            failures.append(
+                f"exactly-once violated: {puts} store puts for "
+                f"{distinct} distinct cells")
+        lost = [cell for cell in cells if not topo.store.contains(cell)]
+        if lost:
+            failures.append(f"{len(lost)} lost cell(s): results missing "
+                            f"from the store after drain")
+        if stats["pending_queue"] != 0:
+            failures.append(
+                f"unclean drain: {stats['pending_queue']} cells pending")
+        if stats["active_leases"] != 0:
+            failures.append(
+                f"unsettled leases: {stats['active_leases']} still held")
+        if stats["cells"].get("dead", 0) != 0:
+            failures.append(
+                f"dead cells after drain: {stats['cells']['dead']} "
+                f"(quarantined corpses must be resurrected)")
+        counters = dict(stats["counters"])
+    finally:
+        topo.close()
+
+    # Replayability witness: the plan re-derived from a fresh spec must
+    # hash identically — seeds fully determine schedules.
+    replay_digest = FaultPlan.from_spec(ServiceFaultSpec(
+        seed=spec.seed, cells=spec.cells, workers=spec.workers,
+        intensity=spec.intensity, lease=spec.lease,
+        client_timeout=spec.client_timeout)).digest()
+    plan_digest = topo.injector.plan.digest()
+    replayable = replay_digest == plan_digest
+    if not replayable:
+        failures.append("replay mismatch: re-derived plan digest differs")
+
+    return ScheduleResult(
+        seed=spec.seed,
+        intensity=spec.intensity,
+        described=spec.describe(),
+        plan_digest=plan_digest,
+        classes=topo.injector.plan.classes(),
+        ok=not failures,
+        failures=failures,
+        fired=topo.injector.fired_by_class(),
+        puts=puts,
+        cells=len(cells),
+        worker_respawns=topo.respawns,
+        coordinator_restarts=topo.restarts,
+        replayable=replayable,
+        duration=time.monotonic() - started,
+        counters=counters,
+    )
+
+
+def campaign_fault_specs(schedules: int, base_seed: int = 0,
+                         cells: int = 12, workers: int = 3,
+                         lease: float = 0.6,
+                         client_timeout: float = 0.6,
+                         ) -> List[ServiceFaultSpec]:
+    """The campaign's seed grid, cycling through the intensities."""
+    intensities = ("medium", "high", "low")
+    return [ServiceFaultSpec(seed=base_seed + i, cells=cells,
+                             workers=workers,
+                             intensity=intensities[i % len(intensities)],
+                             lease=lease, client_timeout=client_timeout)
+            for i in range(schedules)]
+
+
+class ServiceCampaignReport:
+    """Outcome of one service-chaos campaign."""
+
+    #: Every fault class a full campaign must have exercised.
+    REQUIRED_CLASSES = ("transport", "queuefs", "worker", "coordinator")
+
+    def __init__(self, schedules: List[ScheduleResult]):
+        self.schedules = schedules
+
+    @property
+    def failures(self) -> List[ScheduleResult]:
+        return [s for s in self.schedules if not s.ok]
+
+    @property
+    def classes_covered(self) -> List[str]:
+        seen = set()
+        for schedule in self.schedules:
+            seen.update(schedule.classes)
+        return sorted(seen)
+
+    @property
+    def missing_classes(self) -> List[str]:
+        return [cls for cls in self.REQUIRED_CLASSES
+                if cls not in self.classes_covered]
+
+    @property
+    def replayable(self) -> bool:
+        return all(s.replayable for s in self.schedules)
+
+    @property
+    def ok(self) -> bool:
+        return (not self.failures and not self.missing_classes
+                and self.replayable)
+
+    def render(self) -> str:
+        lines = [schedule.summary() for schedule in self.schedules]
+        fired_total: Dict[str, int] = {}
+        for schedule in self.schedules:
+            for cls, count in schedule.fired.items():
+                fired_total[cls] = fired_total.get(cls, 0) + count
+        fired_text = ", ".join(f"{cls} {count}" for cls, count
+                               in sorted(fired_total.items())) or "none"
+        lines.append(
+            f"campaign: {len(self.schedules)} schedules, "
+            f"{len(self.schedules) - len(self.failures)} ok, "
+            f"{len(self.failures)} failed; faults fired: {fired_text}")
+        lines.append(
+            f"fault classes covered: "
+            f"{', '.join(self.classes_covered) or 'none'}"
+            + (f" (MISSING: {', '.join(self.missing_classes)})"
+               if self.missing_classes else ""))
+        lines.append("replay: plans bit-identical for fixed seeds"
+                     if self.replayable else
+                     "replay: PLAN DIGEST MISMATCH — determinism broken")
+        for schedule in self.failures:
+            lines.append(f"\nFAILED {schedule.described}:")
+            for failure in schedule.failures:
+                lines.append(f"  - {failure}")
+        return "\n".join(lines)
+
+
+def run_service_campaign(
+        schedules: int = 50, base_seed: int = 0,
+        root: Optional[Path] = None,
+        cells: int = 12, workers: int = 3,
+        progress: Optional[Callable[[str], None]] = None,
+) -> ServiceCampaignReport:
+    """Run *schedules* seeded fault schedules, each against a fresh
+    queue/store under *root* (a temp dir when omitted)."""
+    specs = campaign_fault_specs(schedules, base_seed=base_seed,
+                                 cells=cells, workers=workers)
+    results: List[ScheduleResult] = []
+    base = Path(root) if root is not None else Path(
+        tempfile.mkdtemp(prefix="repro-servicechaos-"))
+    for i, spec in enumerate(specs):
+        result = run_service_chaos_schedule(
+            spec, base / f"s{spec.seed}-{spec.intensity}")
+        results.append(result)
+        if progress is not None:
+            progress(f"[{i + 1}/{len(specs)}] {result.summary()}")
+    return ServiceCampaignReport(results)

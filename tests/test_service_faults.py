@@ -1,0 +1,515 @@
+"""Fault injection + self-healing: plans, recovery, retry, auth, ETAs."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.harness import CellSpec, ResultStore, spec_to_dict
+from repro.harness.spec import spec_digest
+from repro.service import (
+    ErrorTally,
+    FaultInjector,
+    FaultPlan,
+    JobQueue,
+    LocalBackend,
+    RemoteBackend,
+    ServiceAuthError,
+    ServiceClient,
+    ServiceError,
+    ServiceFaultSpec,
+    SkewedClock,
+    SweepService,
+    worker_loop,
+)
+from repro.service.queue import CELL_DEAD, CELL_DONE, CELL_PENDING
+
+
+def spec(scheme="atr", rf=64, n=500):
+    return CellSpec("505.mcf_r", rf, scheme, n)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(tmp_path, clock):
+    return JobQueue(root=tmp_path / "q", lease=60.0, clock=clock)
+
+
+# -- fault plans -------------------------------------------------------------------
+
+def test_fault_plan_is_deterministic_per_seed():
+    a = FaultPlan.from_spec(ServiceFaultSpec(seed=7))
+    b = FaultPlan.from_spec(ServiceFaultSpec(seed=7))
+    c = FaultPlan.from_spec(ServiceFaultSpec(seed=8))
+    assert a.digest() == b.digest()
+    assert a.digest() != c.digest()
+    assert a.to_dict() == b.to_dict()
+
+
+def test_medium_plans_cover_all_four_fault_classes():
+    # Medium intensity always plans >=2 crashes and >=1 restart, so a
+    # handful of seeds must jointly exercise every class.
+    seen = set()
+    for seed in range(5):
+        seen.update(
+            FaultPlan.from_spec(ServiceFaultSpec(seed=seed)).classes())
+    assert seen == {"transport", "queuefs", "worker", "coordinator"}
+
+
+def test_unknown_intensity_rejected():
+    with pytest.raises(ValueError, match="unknown intensity"):
+        FaultPlan.from_spec(ServiceFaultSpec(seed=0, intensity="armageddon"))
+
+
+def test_skewed_clock_is_forward_only():
+    clock = SkewedClock(base=lambda: 100.0)
+    assert clock() == 100.0
+    clock.advance(5.0)
+    assert clock() == 105.0
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+# -- index rebuild -----------------------------------------------------------------
+
+def test_corrupt_index_rebuilt_from_cell_records(tmp_path, clock):
+    queue = JobQueue(root=tmp_path / "q", lease=60.0, clock=clock)
+    queue.submit([spec("atr"), spec("baseline"), spec("combined")],
+                 label="before-crash")
+    (lease,) = queue.claim("w1")  # atr leased
+    queue.complete(lease.digest, "w1")  # ...and done
+
+    # A crashed writer tears index.json mid-write.
+    (tmp_path / "q" / "index.json").write_text('{"pending": [1, ')
+
+    rebuilt = JobQueue(root=tmp_path / "q", lease=60.0, clock=clock)
+    stats = rebuilt.stats()
+    assert stats["counters"]["index_rebuilds"] == 1
+    # The done cell kept its verdict; the other two requeued.
+    assert stats["cells"][CELL_DONE] == 1
+    assert stats["cells"][CELL_PENDING] == 2
+    leases = rebuilt.claim("w2", max_cells=10)
+    assert len(leases) == 2
+    for lease in leases:
+        assert rebuilt.complete(lease.digest, "w2")
+
+
+def test_rebuild_requeues_leased_cells_and_rejects_stale_complete(
+        tmp_path, clock):
+    queue = JobQueue(root=tmp_path / "q", lease=60.0, clock=clock)
+    queue.submit([spec()])
+    (lease,) = queue.claim("old-owner")
+
+    (tmp_path / "q" / "index.json").unlink()  # index lost entirely
+
+    rebuilt = JobQueue(root=tmp_path / "q", lease=60.0, clock=clock)
+    # Leases are unreconstructable: the cell is pending again and the
+    # old owner's late settlement is refused.
+    assert rebuilt.stats()["cells"][CELL_PENDING] == 1
+    assert not rebuilt.complete(lease.digest, "old-owner")
+    (fresh,) = rebuilt.claim("new-owner")
+    assert rebuilt.complete(fresh.digest, "new-owner")
+
+
+def test_missing_index_with_no_cells_is_a_fresh_queue(tmp_path, clock):
+    queue = JobQueue(root=tmp_path / "q", lease=60.0, clock=clock)
+    assert queue.stats()["counters"] == {}  # no rebuild counted
+
+
+# -- corrupt cell records ----------------------------------------------------------
+
+def test_torn_cell_record_dies_with_cause_then_resurrects(queue, tmp_path):
+    receipt = queue.submit([spec()])
+    digest = spec_digest(spec())
+    cell_path = tmp_path / "q" / "cells" / f"{digest}.json"
+    cell_path.write_text(cell_path.read_text()[:20])  # torn write
+
+    assert queue.claim("w") == []  # quarantined, not silently dropped
+    status = queue.job(receipt.job_id)
+    assert status["dead"] == 1
+    assert "unreadable cell record" in status["failed_cells"][0]["error"]
+    assert queue.stats()["counters"]["corrupt_cells"] == 1
+
+    # Resubmitting the spec resurrects the cell with a fresh record.
+    retry = queue.submit([spec()])
+    assert retry.new == 1
+    (lease,) = queue.claim("w2")
+    assert queue.complete(lease.digest, "w2")
+    assert queue.job(retry.job_id)["state"] == "done"
+
+
+def test_complete_with_repairs_unreadable_cell_from_lease_spec(
+        queue, tmp_path):
+    queue.submit([spec()])
+    (lease,) = queue.claim("w")
+    digest = lease.digest
+    (tmp_path / "q" / "cells" / f"{digest}.json").write_text("garbage{")
+
+    published = []
+    outcome = queue.complete_with(
+        digest, "w", publish=published.append,
+        spec_fallback=spec_to_dict(lease.spec))
+    assert outcome == "accepted"
+    assert published == [lease.spec]
+    assert queue.stats()["counters"]["repaired_cells"] == 1
+    assert queue.stats()["cells"][CELL_DONE] == 1
+
+
+def test_complete_without_fallback_quarantines_unreadable_cell(
+        queue, tmp_path):
+    queue.submit([spec()])
+    (lease,) = queue.claim("w")
+    (tmp_path / "q" / "cells" / f"{lease.digest}.json").write_text("{")
+    assert queue.complete_with(lease.digest, "w") == "stale"
+    assert queue.stats()["cells"][CELL_DEAD] == 1
+
+
+# -- exactly-once settlement -------------------------------------------------------
+
+def test_duplicate_complete_does_not_republish(queue):
+    queue.submit([spec()])
+    (lease,) = queue.claim("w")
+    published = []
+    assert queue.complete_with(lease.digest, "w",
+                               publish=published.append) == "accepted"
+    # The retry (reply was dropped, say) settles as a duplicate no-op.
+    assert queue.complete_with(lease.digest, "w",
+                               publish=published.append) == "duplicate"
+    assert len(published) == 1
+    assert queue.stats()["counters"]["duplicate_settlements"] == 1
+    # The boolean wrapper treats both as success for the worker.
+    assert queue.complete(lease.digest, "w")
+
+
+def test_expired_lease_yields_one_publish_across_two_executions(
+        queue, clock):
+    queue.submit([spec()])
+    (doomed,) = queue.claim("doomed")
+    clock.advance(61.0)
+    (live,) = queue.claim("live")
+    published = []
+    # The live settlement publishes; the stale one must not.
+    assert queue.complete_with(live.digest, "live",
+                               publish=published.append) == "accepted"
+    assert queue.complete_with(doomed.digest, "doomed",
+                               publish=published.append) == "duplicate"
+    assert len(published) == 1
+
+
+def test_local_backend_put_counter_stays_exactly_once(tmp_path, queue):
+    store = ResultStore(root=tmp_path / "store", fingerprint="d" * 64)
+    backend = LocalBackend(queue, store, host="h")
+    queue.submit([spec()])
+    (lease,) = queue.claim("w")
+    payload = {"kind": "raw", "data": {"x": 1}}
+    assert backend.complete("w", lease, payload, elapsed=0.1)
+    assert backend.complete("w", lease, payload, elapsed=0.1)  # retry
+    assert store.info()["counters"]["lifetime"]["puts"] == 1
+
+
+# -- progress ETAs -----------------------------------------------------------------
+
+def test_job_eta_from_completed_cell_ewma(queue):
+    receipt = queue.submit(
+        [spec("atr"), spec("baseline"), spec("combined"), spec("nonspec_er")])
+    leases = queue.claim("w", max_cells=2)
+    for lease in leases:
+        assert queue.complete(lease.digest, "w", elapsed=2.0)
+    status = queue.job(receipt.job_id)
+    assert status["cell_ewma"] == pytest.approx(2.0)
+    # 2 cells left, none leased right now: eta = ewma * 2 / 1.
+    assert status["eta"] == pytest.approx(4.0)
+
+    queue.claim("w", max_cells=2)
+    assert queue.job(receipt.job_id)["eta"] == pytest.approx(2.0)
+
+
+def test_job_eta_none_without_history_or_when_done(queue):
+    receipt = queue.submit([spec()])
+    assert queue.job(receipt.job_id)["eta"] is None  # no timing yet
+    (lease,) = queue.claim("w")
+    queue.complete(lease.digest, "w", elapsed=1.0)
+    done = queue.job(receipt.job_id)
+    assert done["state"] == "done"
+    assert done["eta"] is None  # nothing remaining
+    assert done["cell_ewma"] == pytest.approx(1.0)
+
+
+def test_ewma_smooths_cell_times(queue):
+    receipt = queue.submit([spec("atr"), spec("baseline"), spec("combined")])
+    (a, b) = queue.claim("w", max_cells=2)
+    queue.complete(a.digest, "w", elapsed=1.0)
+    queue.complete(b.digest, "w", elapsed=2.0)
+    # ewma = 0.3 * 2.0 + 0.7 * 1.0
+    assert queue.job(receipt.job_id)["cell_ewma"] == pytest.approx(1.3)
+
+
+# -- worker error tally ------------------------------------------------------------
+
+def test_error_tally_counts_and_rate_limits_logs():
+    clock = FakeClock(0.0)
+    lines = []
+    tally = ErrorTally(log=lines.append, min_interval=5.0, clock=clock)
+    for _ in range(10):
+        tally.record("claim", RuntimeError("boom"))
+    assert tally.counts["claim"] == 10
+    assert len(lines) == 1  # rate-limited: one line for the burst
+    clock.advance(5.0)
+    tally.record("claim", RuntimeError("boom"))
+    assert len(lines) == 2
+    assert "#11" in lines[-1]
+    assert tally.total == 11
+    assert tally.snapshot() == {"claim": 11}
+
+
+def test_worker_loop_tallies_and_reports_backend_errors(tmp_path, queue):
+    store = ResultStore(root=tmp_path / "store", fingerprint="d" * 64)
+
+    class FlakyBackend(LocalBackend):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.failures = 2
+
+        def claim(self, owner, max_cells):
+            if self.failures:
+                self.failures -= 1
+                raise ConnectionResetError("injected")
+            return super().claim(owner, max_cells)
+
+    queue.submit([spec()])
+    backend = FlakyBackend(queue, store, host="flaky-host")
+    tally = ErrorTally(log=lambda _line: None, min_interval=0.0)
+    executed = worker_loop(
+        backend, executor=lambda s: {"ok": True}, poll=0.01,
+        max_cells=1, errors=tally)
+    assert executed == 1
+    assert tally.counts["claim"] == 2
+    # The tally rides back to the coordinator inside heartbeats.
+    backend.heartbeat(errors=tally.snapshot())
+    hosts = {h["host"]: h for h in queue.hosts()}
+    assert hosts["flaky-host"]["meta"]["errors"] == {"claim": 2}
+
+
+# -- live service: transport faults, retry, auth, degradation ----------------------
+
+class FaultyFixture:
+    """A live service with a hand-written fault plan."""
+
+    def __init__(self, tmp_path, plan=None, token=None, lease=0.6):
+        fault_spec = ServiceFaultSpec(seed=0, intensity="low")
+        self.injector = (FaultInjector(fault_spec, plan=plan)
+                         if plan is not None else None)
+        self.store = ResultStore(root=tmp_path / "store")
+        self.queue = JobQueue(root=tmp_path / "queue", lease=lease,
+                              faults=self.injector)
+        self.service = SweepService(queue=self.queue, store=self.store,
+                                    port=0, token=token,
+                                    faults=self.injector)
+        self.service.start(reaper_interval=0.1)
+        self._stop = threading.Event()
+        self._threads = []
+
+    def client(self, **kwargs):
+        return ServiceClient(self.service.address, timeout=2.0, **kwargs)
+
+    def start_worker(self, token=None):
+        backend = RemoteBackend(self.client(token=token), host="w")
+        thread = threading.Thread(
+            target=worker_loop,
+            kwargs=dict(backend=backend, poll=0.05,
+                        executor=lambda s: {"scheme": s.scheme},
+                        stop=self._stop.is_set),
+            daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
+    def close(self):
+        self._stop.set()
+        self.service.stop()
+        for thread in self._threads:
+            thread.join(5)
+
+
+def test_client_retries_through_dropped_and_partial_replies(tmp_path):
+    # The first two status replies are sabotaged; the third is clean.
+    plan = FaultPlan(transport={"status": {0: ("drop", 0.0),
+                                           1: ("partial", 0.0)}})
+    fx = FaultyFixture(tmp_path, plan=plan)
+    try:
+        fx.start_worker()
+        receipt = fx.client().submit([spec_to_dict(spec())])
+        reply = fx.client(retries=4).status(receipt["job"])
+        assert reply["job"]["id"] == receipt["job"]
+    finally:
+        fx.close()
+
+
+def test_client_without_retries_surfaces_transport_fault(tmp_path):
+    plan = FaultPlan(transport={"status": {0: ("drop", 0.0)}})
+    fx = FaultyFixture(tmp_path, plan=plan)
+    try:
+        receipt = fx.client().submit([spec_to_dict(spec())])
+        with pytest.raises(ServiceError):
+            fx.client(retries=0).status(receipt["job"])
+    finally:
+        fx.close()
+
+
+def test_reset_connection_is_retried(tmp_path):
+    plan = FaultPlan(transport={"ping": {0: ("reset", 0.0)}})
+    fx = FaultyFixture(tmp_path, plan=plan)
+    try:
+        assert fx.client(retries=3).ping()["service"] == "repro"
+    finally:
+        fx.close()
+
+
+def test_partial_line_then_reconnect_by_hand(tmp_path):
+    """The raw-socket view of the partial fault: the first connection
+    yields a truncated line and EOF; a fresh connection succeeds."""
+    plan = FaultPlan(transport={"ping": {0: ("partial", 0.0)}})
+    fx = FaultyFixture(tmp_path, plan=plan)
+    try:
+        host, port = fx.service.address.rsplit(":", 1)
+        with socket.create_connection((host, int(port)), timeout=2) as sock:
+            sock.sendall(b'{"op": "ping"}\n')
+            data = b""
+            try:
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+            except OSError:
+                pass  # injected RST
+        assert b"\n" not in data  # truncated: no complete line arrived
+        with pytest.raises(ValueError):
+            json.loads(data.decode() or "{")
+        # Reconnect: the one-shot fault spent itself, service is fine.
+        assert fx.client(retries=0).ping()["ok"]
+    finally:
+        fx.close()
+
+
+def test_auth_token_rejects_and_admits(tmp_path):
+    fx = FaultyFixture(tmp_path, token="s3cret")
+    try:
+        with pytest.raises(ServiceAuthError, match="token"):
+            fx.client().ping()
+        with pytest.raises(ServiceAuthError):
+            fx.client(token="wrong").ping()
+        assert fx.client(token="s3cret").ping()["service"] == "repro"
+
+        # The full work loop runs under auth.
+        fx.start_worker(token="s3cret")
+        client = fx.client(token="s3cret")
+        receipt = client.submit([spec_to_dict(spec())])
+        assert client.wait(receipt["job"])["state"] == "done"
+    finally:
+        fx.close()
+
+
+def test_auth_failures_are_not_retried(tmp_path):
+    fx = FaultyFixture(tmp_path, token="s3cret")
+    try:
+        attempts = []
+        client = fx.client(token="wrong", retries=5,
+                           sleep=lambda s: attempts.append(s))
+        with pytest.raises(ServiceAuthError):
+            client.ping()
+        assert attempts == []  # no backoff sleeps: failed exactly once
+    finally:
+        fx.close()
+
+
+def test_degraded_mode_rejects_mutations_serves_reads_then_heals(
+        tmp_path, monkeypatch):
+    fx = FaultyFixture(tmp_path)
+    try:
+        client = fx.client()
+        receipt = client.submit([spec_to_dict(spec())])
+
+        def sick(*_args, **_kwargs):
+            raise OSError("disk on fire")
+
+        real_submit, real_reap = fx.queue.submit, fx.queue.reap
+        monkeypatch.setattr(fx.queue, "submit", sick)
+        # Break the heal probe too, else the reaper thread un-degrades
+        # the service between our asserts.
+        monkeypatch.setattr(fx.queue, "reap", sick)
+        with pytest.raises(ServiceError, match="disk on fire"):
+            client.submit([spec_to_dict(spec("baseline"))])
+        # Mutations now rejected with the typed degraded error...
+        with pytest.raises(ServiceError, match="read-only") as excinfo:
+            client.submit([spec_to_dict(spec("baseline"))])
+        assert excinfo.value.kind == "degraded"
+        # ...while reads keep answering.
+        assert client.status(receipt["job"])["job"]["id"] == receipt["job"]
+        assert client.ping()["degraded"] is not None
+        assert client.stats()["degraded"] is not None
+
+        # Queue dir healthy again: the heal probe restores full service.
+        monkeypatch.setattr(fx.queue, "submit", real_submit)
+        monkeypatch.setattr(fx.queue, "reap", real_reap)
+        assert fx.service.check_health()
+        assert client.ping()["degraded"] is None
+        assert client.submit([spec_to_dict(spec("baseline"))])["total"] == 1
+    finally:
+        fx.close()
+
+
+def test_corrupt_result_file_served_as_miss_not_crash(tmp_path):
+    fx = FaultyFixture(tmp_path)
+    try:
+        fx.start_worker()
+        client = fx.client()
+        receipt = client.submit([spec_to_dict(spec())])
+        assert client.wait(receipt["job"])["state"] == "done"
+        assert client.fetch(spec_to_dict(spec())) is not None
+
+        # The stored result file rots on disk.
+        fx.store.path_for(spec()).write_text("not json{")
+        assert client.fetch(spec_to_dict(spec())) is None  # miss, no crash
+    finally:
+        fx.close()
+
+
+def test_server_complete_heals_store_on_duplicate(tmp_path):
+    """A duplicate complete after `cache gc` re-publishes the result the
+    store lost, instead of silently acknowledging."""
+    fx = FaultyFixture(tmp_path)
+    try:
+        fx.start_worker()
+        client = fx.client()
+        receipt = client.submit([spec_to_dict(spec())])
+        assert client.wait(receipt["job"])["state"] == "done"
+        digest = spec_digest(spec())
+
+        fx.store.clear()  # cache gc wiped everything
+        assert not fx.store.contains(spec())
+        # A (simulated) worker retry of the complete: queue says done,
+        # so it settles as a duplicate — and repopulates the store.
+        owner = "retrying-worker"
+        accepted = client.complete(owner, digest,
+                                   {"kind": "raw", "data": {"x": 1}},
+                                   spec=spec_to_dict(spec()))
+        assert accepted  # duplicate counts as success for the worker
+        assert fx.store.contains(spec())
+    finally:
+        fx.close()
