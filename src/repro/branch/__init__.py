@@ -5,17 +5,22 @@ from .simple import AlwaysNotTaken, AlwaysTaken, Bimodal, GShare, Oracle
 from .tage import LoopPredictor, Tage
 from .targets import BranchTargetBuffer, IndirectTargetPredictor, ReturnAddressStack
 from .unit import BranchStats, BranchUnit
+from ..registry import Registry
 
 #: Direction-predictor registry: config name -> zero-arg factory.  Single
 #: source of truth shared by CoreConfig.validate() (fail-fast on unknown
-#: names) and the fetch stage's make_predictor().
-PREDICTORS = {
-    "tage": Tage,
-    "gshare": GShare,
-    "bimodal": Bimodal,
-    "always_taken": AlwaysTaken,
-    "always_not_taken": AlwaysNotTaken,
-}
+#: names), the fetch stage's make_predictor(), and ``repro list
+#: predictors``; plugin predictors join through the discovery hook
+#: (:mod:`repro.registry`).  Mapping-shaped, so dict-era call sites
+#: (``name in PREDICTORS``, ``sorted(PREDICTORS)``, ``PREDICTORS[name]``)
+#: are unchanged.
+PREDICTORS: Registry = Registry(
+    "predictor", doc="branch direction predictors")
+PREDICTORS.register("tage", Tage)
+PREDICTORS.register("gshare", GShare)
+PREDICTORS.register("bimodal", Bimodal)
+PREDICTORS.register("always_taken", AlwaysTaken)
+PREDICTORS.register("always_not_taken", AlwaysNotTaken)
 
 __all__ = [
     "PREDICTORS",

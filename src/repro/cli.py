@@ -27,8 +27,15 @@ Commands:
 * ``lint`` — static analysis of kernel programs: CFG/dataflow findings
   with stable rule IDs, plus (``--oracle``) the dynamic-vs-static ATR
   soundness cross-check; exits non-zero on any unsuppressed finding.
-* ``list`` — the benchmark suite (paper Table 2).
+* ``list`` — introspect the registries: ``repro list
+  [workloads|schemes|predictors|configs|figures|all]`` (plugin entries
+  included; workloads list every addressable input variant).
 * ``disasm`` — disassemble a benchmark's kernel program.
+
+Every ``choices=`` list below is derived from the corresponding registry
+(``SCHEMES``, ``CORE_CONFIGS``, …) — never hand-written — so registering
+a new entry (in-tree or via ``REPRO_PLUGINS``) can't silently miss the
+CLI layer; ``tests/test_registry.py`` asserts the derivation.
 """
 
 from __future__ import annotations
@@ -37,6 +44,26 @@ import argparse
 import signal
 import sys
 from typing import List, Optional
+
+#: ``repro list`` categories (the registry kinds it can introspect).
+LIST_CATEGORIES = ("workloads", "schemes", "predictors", "configs",
+                   "figures", "all")
+
+
+def _scheme_names() -> tuple:
+    from .registry import load_plugins
+    from .rename.schemes import SCHEMES
+
+    load_plugins()  # plugin schemes become valid ``choices=`` too
+    return SCHEMES.names()
+
+
+def _config_names() -> tuple:
+    from .pipeline.config import CORE_CONFIGS
+    from .registry import load_plugins
+
+    load_plugins()
+    return CORE_CONFIGS.names()
 
 
 def _positive_int(text: str) -> int:
@@ -60,11 +87,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    scheme_names = list(_scheme_names())
+    all_schemes_csv = ",".join(scheme_names)
+
     run = sub.add_parser("run", help="simulate one benchmark")
     _add_common(run)
-    run.add_argument("-s", "--scheme", default="atr",
-                     choices=["baseline", "nonspec_er", "atr", "combined"])
-    run.add_argument("-r", "--rf-size", type=int, default=64)
+    run.add_argument("-s", "--scheme", default="atr", choices=scheme_names)
+    run.add_argument("-r", "--rf-size", type=int, default=None,
+                     help="register file size (default 64, or the "
+                          "--config preset's size)")
+    run.add_argument("-c", "--config", default=None,
+                     choices=list(_config_names()),
+                     help="named machine preset (repro list configs); "
+                          "-s/-r/-d still override on top of it")
     run.add_argument("-d", "--redefine-delay", type=int, default=0)
     run.add_argument("--tier", default="detailed",
                      choices=["detailed", "tiered"],
@@ -105,9 +140,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated suite names")
     swp.add_argument("-r", "--rf-sizes", default="64",
                      help="comma-separated register file sizes")
-    swp.add_argument("-s", "--schemes",
-                     default="baseline,nonspec_er,atr,combined",
-                     help="comma-separated release schemes")
+    swp.add_argument("-s", "--schemes", default=all_schemes_csv,
+                     help="comma-separated release schemes "
+                          "(default: every registered scheme)")
     swp.add_argument("-n", "--instructions", type=int, default=None)
     swp.add_argument("-d", "--redefine-delay", type=int, default=0)
     swp.add_argument("-j", "--jobs", type=_positive_int, default=None,
@@ -120,9 +155,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeded fault-injection campaign with the invariant sanitizer")
     val.add_argument("-b", "--benchmarks", default="mcf,deepsjeng,bwaves,namd",
                      help="comma-separated suite names")
-    val.add_argument("-s", "--schemes",
-                     default="baseline,nonspec_er,atr,combined",
-                     help="comma-separated release schemes")
+    val.add_argument("-s", "--schemes", default=all_schemes_csv,
+                     help="comma-separated release schemes "
+                          "(default: every registered scheme)")
     val.add_argument("-r", "--rf-sizes", default="28,40",
                      help="comma-separated register file sizes")
     val.add_argument("--seeds", type=_positive_int, default=4,
@@ -210,9 +245,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated suite names")
     submit.add_argument("-r", "--rf-sizes", default="64",
                         help="comma-separated register file sizes")
-    submit.add_argument("-s", "--schemes",
-                        default="baseline,nonspec_er,atr,combined",
-                        help="comma-separated release schemes")
+    submit.add_argument("-s", "--schemes", default=all_schemes_csv,
+                        help="comma-separated release schemes "
+                             "(default: every registered scheme)")
     submit.add_argument("-n", "--instructions", type=int, default=None)
     submit.add_argument("-d", "--redefine-delay", type=int, default=0)
     submit.add_argument("--quick", action="store_true",
@@ -283,7 +318,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("-v", "--verbose", action="store_true",
                       help="show suppressed findings and per-kernel stats")
 
-    sub.add_parser("list", help="list the benchmark suite")
+    lst = sub.add_parser(
+        "list", help="introspect a registry (workloads include variants)")
+    lst.add_argument("what", nargs="?", default="workloads",
+                     choices=list(LIST_CATEGORIES),
+                     help="which registry to list (default workloads)")
 
     disasm = sub.add_parser("disasm", help="disassemble a kernel")
     disasm.add_argument("benchmark")
@@ -291,13 +330,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
-    from .pipeline import Core, golden_cove_config
+    from .pipeline import Core, core_config, golden_cove_config
     from .workloads import build_trace, resolve
 
     name = resolve(args.benchmark)
     trace = build_trace(name, args.instructions)
-    config = golden_cove_config(rf_size=args.rf_size, scheme=args.scheme,
-                                redefine_delay=args.redefine_delay)
+    if args.config is not None:
+        config = core_config(args.config)
+        config = config.with_scheme(args.scheme, args.redefine_delay)
+        if args.rf_size is not None:
+            config = config.with_rf_size(args.rf_size)
+        config.validate()
+    else:
+        config = golden_cove_config(
+            rf_size=args.rf_size if args.rf_size is not None else 64,
+            scheme=args.scheme, redefine_delay=args.redefine_delay)
+    args.rf_size = config.int_rf_size  # for the summary lines below
     if args.tier == "tiered":
         from .tiered import run_tiered
 
@@ -340,7 +388,7 @@ def _cmd_compare(args) -> int:
     print(f"{name} @ {args.rf_size} registers, {len(trace)} instructions")
     print(f"{'scheme':12} {'IPC':>7} {'vs base':>8} {'early frees':>12}")
     base_ipc = None
-    for scheme in ("baseline", "nonspec_er", "atr", "combined"):
+    for scheme in _scheme_names():
         config = golden_cove_config(rf_size=args.rf_size, scheme=scheme)
         core = Core(config, trace)
         stats = core.run()
@@ -786,10 +834,12 @@ def _cmd_analyze(args) -> int:
 
 def _cmd_lint(args) -> int:
     from .staticcheck import analyze_regions, check_trace, lint_program
-    from .workloads import ALL_BENCHMARKS, build_trace, builder_for, resolve
+    from .workloads import build_trace, builder_for, resolve
 
     if args.all:
-        names = list(ALL_BENCHMARKS)
+        from .workloads import workload_names
+
+        names = list(workload_names(variants=True))
     elif args.benchmarks:
         try:
             names = [resolve(b) for b in args.benchmarks]
@@ -828,15 +878,55 @@ def _cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
-def _cmd_list(_args) -> int:
-    from .workloads import SPEC_FP, SPEC_INT
+def _list_workloads() -> None:
+    from .registry import load_plugins
+    from .workloads import WORKLOADS, workload_names
 
-    print("SPEC2017int stand-ins:")
-    for name in SPEC_INT:
-        print(f"  {name}")
-    print("SPEC2017fp stand-ins:")
-    for name in SPEC_FP:
-        print(f"  {name}")
+    load_plugins()
+    names = workload_names(variants=True)
+    bases = WORKLOADS.names()
+    print(f"workloads ({len(bases)} benchmarks, "
+          f"{len(names)} addressable refs):")
+    for base in bases:
+        entry = WORKLOADS.get(base)
+        print(f"  {base:<24} {entry.cls}")
+        for variant in getattr(entry, "variants", ()):
+            qualified = f"{base}/{variant.name}"
+            note = f"  -- {variant.note}" if variant.note else ""
+            print(f"  {qualified:<24} {entry.cls}{note}")
+
+
+def _list_registry(title: str, registry) -> None:
+    from .registry import load_plugins
+
+    load_plugins()
+    print(f"{title} ({len(registry)}):")
+    aliases = registry.aliases()
+    for name in registry.names():
+        alias_text = ", ".join(a for a, t in aliases.items() if t == name)
+        print(f"  {name}" + (f"  (aka {alias_text})" if alias_text else ""))
+
+
+def _cmd_list(args) -> int:
+    what = getattr(args, "what", "workloads")
+    if what in ("workloads", "all"):
+        _list_workloads()
+    if what in ("schemes", "all"):
+        from .rename.schemes import SCHEMES
+
+        _list_registry("schemes", SCHEMES)
+    if what in ("predictors", "all"):
+        from .branch import PREDICTORS
+
+        _list_registry("predictors", PREDICTORS)
+    if what in ("configs", "all"):
+        from .pipeline.config import CORE_CONFIGS
+
+        _list_registry("configs", CORE_CONFIGS)
+    if what in ("figures", "all"):
+        from .experiments import FIGURES
+
+        _list_registry("figures", FIGURES)
     return 0
 
 

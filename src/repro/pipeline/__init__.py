@@ -6,7 +6,7 @@ per-cycle phase, ``probes`` is the zero-cost-when-off observer layer,
 and ``core`` is the thin orchestrator tying them together.
 """
 
-from .config import CoreConfig, fast_test_config, golden_cove_config
+from .config import CORE_CONFIGS, CoreConfig, core_config, fast_test_config, golden_cove_config
 from .core import Core, DeadlockError, simulate
 from .interrupts import InterruptController, InterruptStats
 from .probes import (
@@ -24,6 +24,7 @@ from .warmup import WarmupState, apply_warmup, fast_forward
 
 __all__ = [
     "CoreConfig", "golden_cove_config", "fast_test_config",
+    "CORE_CONFIGS", "core_config",
     "Core", "simulate", "DeadlockError",
     "InterruptController", "InterruptStats",
     "ReorderBuffer", "ROBEntry",

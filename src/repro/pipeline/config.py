@@ -4,6 +4,12 @@
 ``fast_test_config()`` is a small machine for quick unit tests.  The
 physical register file size (the paper's primary independent variable,
 Figures 1/10/11/15) is set via ``rf_size``.
+
+Named presets live in the :data:`CORE_CONFIGS` registry (zero-arg
+factories returning a validated config): the golden-cove default plus
+small/large RF sweep points, addressable from the CLI (``repro run
+--config``) and listed by ``repro list configs``; plugin presets join
+through the discovery hook (:mod:`repro.registry`).
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..memory import HierarchyConfig
+from ..registry import Registry
 
 
 @dataclass
@@ -139,6 +146,28 @@ def golden_cove_config(
     return config
 
 
+#: Named machine presets: name -> zero-arg factory returning a validated
+#: CoreConfig.  ``golden_cove`` is the paper's Table 1 machine; the
+#: ``rf*`` points are the Figure 1/10 sweep anchors (64 = scarce, 128 =
+#: knee, 384 = post-saturation headroom); ``fast_test`` is the small
+#: unit-test machine.
+CORE_CONFIGS: Registry = Registry(
+    "config", doc="named core-configuration presets")
+
+CORE_CONFIGS.register("golden_cove", lambda: golden_cove_config())
+CORE_CONFIGS.register("golden_cove_rf64", lambda: golden_cove_config(rf_size=64))
+CORE_CONFIGS.register("golden_cove_rf128", lambda: golden_cove_config(rf_size=128))
+CORE_CONFIGS.register("golden_cove_rf384", lambda: golden_cove_config(rf_size=384))
+
+
+def core_config(name: str) -> CoreConfig:
+    """Build the named preset from :data:`CORE_CONFIGS` (always a fresh,
+    validated instance — presets are factories, never shared state)."""
+    config = CORE_CONFIGS.get(name)()
+    config.validate()
+    return config
+
+
 def fast_test_config(
     rf_size: int = 64,
     scheme: str = "baseline",
@@ -165,3 +194,6 @@ def fast_test_config(
     ).with_rf_size(rf_size)
     config.validate()
     return config
+
+
+CORE_CONFIGS.register("fast_test", lambda: fast_test_config())

@@ -1,0 +1,276 @@
+"""Declarative name registries: one plugin layer for every catalog.
+
+Everything the matrix is made of — workloads, release schemes, branch
+predictors, core-config presets, figure modules — is a *named entry* in
+a :class:`Registry`.  A registry is a small ordered name->entry map with
+
+* ``register(name)`` usable as a decorator or a direct call,
+* aliases (short names resolving to canonical ones),
+* lazy entries (a zero-arg thunk resolved, once, on first ``get``), and
+* out-of-tree plugin discovery.
+
+The domain registries live next to their entry types (``WORKLOADS`` in
+:mod:`repro.workloads.suite`, ``SCHEMES`` in
+:mod:`repro.rename.schemes`, ``PREDICTORS`` in :mod:`repro.branch`,
+``CORE_CONFIGS`` in :mod:`repro.pipeline.config`, ``FIGURES`` in
+:mod:`repro.experiments`); this module owns only the generic core, so
+it can be imported from anywhere without cycles.
+
+Plugin discovery
+----------------
+
+``load_plugins()`` imports, once per process,
+
+* every module named in the ``REPRO_PLUGINS`` environment variable
+  (comma-separated importable module names), then
+* a module called ``repro_plugins`` if one is importable (the
+  entry-point-style hook: drop a ``repro_plugins.py`` on ``sys.path``).
+
+A plugin module registers its entries at import time::
+
+    # my_plugins.py  (REPRO_PLUGINS=my_plugins)
+    from repro.workloads.suite import WORKLOADS, Workload
+    WORKLOADS.register("900.toy_r", Workload(...))
+
+or, to receive every registry at once, defines
+``repro_register(registries)`` which is called with the
+``{kind: Registry}`` map after import.  Registries call
+``load_plugins()`` themselves on a lookup miss, so a plugin workload is
+resolvable the first time anyone names it; ``repro list`` forces a load
+so plugin entries always show up there.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import os
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+PLUGINS_ENV = "REPRO_PLUGINS"
+PLUGIN_MODULE = "repro_plugins"
+
+_MISSING = object()
+
+
+class RegistryError(KeyError):
+    """Unknown / duplicate name in a registry (a ``KeyError`` subclass so
+    existing ``except KeyError`` call sites keep working)."""
+
+    def __str__(self) -> str:  # KeyError repr-quotes its arg; we don't want that
+        return self.args[0] if self.args else ""
+
+
+class Registry:
+    """An ordered name -> entry map with aliases, lazy entries, plugins."""
+
+    #: Every live registry by kind, for ``repro list`` and the
+    #: ``repro_register(registries)`` plugin hook.
+    _instances: Dict[str, "Registry"] = {}
+
+    def __init__(self, kind: str, *, doc: str = ""):
+        self.kind = kind
+        self.doc = doc
+        self._entries: Dict[str, Any] = {}
+        self._lazy: Dict[str, Callable[[], Any]] = {}
+        self._aliases: Dict[str, str] = {}
+        Registry._instances[kind] = self
+
+    # -- registration ------------------------------------------------------------
+    def register(self, name: str, entry: Any = _MISSING, *,
+                 aliases: Tuple[str, ...] = (), replace: bool = False):
+        """Register *entry* under *name*; usable as a decorator.
+
+        As a decorator (``@REG.register("name")``) the decorated object
+        is the entry and is returned unchanged.
+        """
+        if entry is _MISSING:
+            def decorator(obj):
+                self.register(name, obj, aliases=aliases, replace=replace)
+                return obj
+            return decorator
+        self._claim(name, replace)
+        self._entries[name] = entry
+        for alias in aliases:
+            self.alias(alias, name, replace=replace)
+        return entry
+
+    def register_lazy(self, name: str, thunk: Callable[[], Any], *,
+                      aliases: Tuple[str, ...] = (),
+                      replace: bool = False) -> None:
+        """Register a zero-arg *thunk* resolved (once) on first ``get``."""
+        self._claim(name, replace)
+        self._lazy[name] = thunk
+        for alias in aliases:
+            self.alias(alias, name, replace=replace)
+
+    def alias(self, alias: str, target: str, *, replace: bool = False) -> None:
+        if not replace and (alias in self._entries or alias in self._lazy
+                            or alias in self._aliases):
+            raise RegistryError(
+                f"{self.kind} alias {alias!r} collides with an existing name")
+        self._aliases[alias] = target
+
+    def unregister(self, name: str) -> None:
+        """Remove *name* and any aliases pointing at it (test/plugin hook)."""
+        self._entries.pop(name, None)
+        self._lazy.pop(name, None)
+        for alias in [a for a, t in self._aliases.items() if t == name or a == name]:
+            del self._aliases[alias]
+
+    def _claim(self, name: str, replace: bool) -> None:
+        if not isinstance(name, str) or not name:
+            raise RegistryError(f"{self.kind} name must be a non-empty string")
+        if not replace and name in self:
+            raise RegistryError(
+                f"{self.kind} {name!r} is already registered "
+                f"(pass replace=True to override)")
+        # A re-registration (replace=True) must not leave a stale twin
+        # behind in the other table.
+        self._entries.pop(name, None)
+        self._lazy.pop(name, None)
+
+    # -- lookup ------------------------------------------------------------------
+    def canonical(self, name: str) -> str:
+        """Resolve aliases to the canonical registered name (no entry load)."""
+        seen = set()
+        while name in self._aliases:
+            if name in seen:  # defensive: alias cycle
+                break
+            seen.add(name)
+            name = self._aliases[name]
+        return name
+
+    def get(self, name: str) -> Any:
+        """The entry for *name* (alias-resolved, lazy entries realized).
+
+        A miss triggers one plugin-discovery pass before failing with a
+        :class:`RegistryError` naming the valid choices.
+        """
+        key = self.canonical(name)
+        if key not in self._entries and key not in self._lazy:
+            load_plugins()
+            key = self.canonical(name)
+        if key in self._lazy:
+            entry = self._lazy.pop(key)()
+            self._entries[key] = entry
+            return entry
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; "
+                f"valid: {', '.join(self.names())}") from None
+
+    def names(self) -> Tuple[str, ...]:
+        """Canonical names, in registration order."""
+        ordered = dict.fromkeys(self._entries)
+        ordered.update(dict.fromkeys(self._lazy))
+        return tuple(ordered)
+
+    def aliases(self) -> Dict[str, str]:
+        return dict(self._aliases)
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        for name in self.names():
+            yield name, self.get(name)
+
+    def keys(self) -> Tuple[str, ...]:
+        return self.names()
+
+    def values(self) -> Iterator[Any]:
+        for name in self.names():
+            yield self.get(name)
+
+    # Mapping-shaped access so a Registry drops in where a plain dict
+    # used to live (``name in PREDICTORS``, ``sorted(PREDICTORS)``,
+    # ``PREDICTORS[name]``).
+    def __getitem__(self, name: str) -> Any:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        key = self.canonical(name)
+        if key in self._entries or key in self._lazy:
+            return True
+        load_plugins()
+        key = self.canonical(name)
+        return key in self._entries or key in self._lazy
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries) + len(self._lazy)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {len(self)} entries)"
+
+
+def registries() -> Dict[str, Registry]:
+    """Every live registry by kind (imports the standard providers first)."""
+    # The domain registries are created as a side effect of importing
+    # their home modules; pull them all in so the map is complete.
+    for module in ("repro.workloads.suite", "repro.rename.schemes",
+                   "repro.branch", "repro.pipeline.config",
+                   "repro.experiments"):
+        importlib.import_module(module)
+    return dict(Registry._instances)
+
+
+# -- plugin discovery ----------------------------------------------------------
+
+_plugins_attempted: set = set()
+_plugins_done = False
+
+
+def plugin_modules() -> List[str]:
+    """The module names a discovery pass would import, in order."""
+    names = [part.strip()
+             for part in os.environ.get(PLUGINS_ENV, "").split(",")
+             if part.strip()]
+    if PLUGIN_MODULE not in names and \
+            importlib.util.find_spec(PLUGIN_MODULE) is not None:
+        names.append(PLUGIN_MODULE)
+    return names
+
+
+def load_plugins(force: bool = False) -> Tuple[str, ...]:
+    """Import every plugin module (once per process); returns those loaded.
+
+    Import errors propagate: a broken plugin should fail loudly at the
+    first lookup that needed it, not silently vanish from the matrix.
+    """
+    global _plugins_done
+    wanted = plugin_modules()
+    if _plugins_done and not force and all(m in _plugins_attempted for m in wanted):
+        return ()
+    loaded = []
+    for name in wanted:
+        if name in _plugins_attempted and not force:
+            continue
+        _plugins_attempted.add(name)
+        module = importlib.import_module(name)
+        hook = getattr(module, "repro_register", None)
+        if callable(hook):
+            hook(dict(Registry._instances))
+        loaded.append(name)
+    _plugins_done = True
+    return tuple(loaded)
+
+
+def reset_plugins() -> None:
+    """Forget which plugin modules were loaded (test hook).
+
+    Does not un-import them — combine with ``sys.modules`` surgery and
+    ``Registry.unregister`` to fully undo a plugin in a test.
+    """
+    global _plugins_done
+    _plugins_attempted.clear()
+    _plugins_done = False
+
+
+__all__ = [
+    "Registry", "RegistryError", "registries",
+    "load_plugins", "reset_plugins", "plugin_modules",
+    "PLUGINS_ENV", "PLUGIN_MODULE",
+]

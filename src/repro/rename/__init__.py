@@ -6,6 +6,7 @@ from .physreg import PhysRegEntry, PhysRegTable
 from .rat import CheckpointPool, RegisterAliasTable
 from .schemes import (
     SCHEME_NAMES,
+    SCHEMES,
     AtrScheme,
     BaselineScheme,
     CombinedScheme,
@@ -22,5 +23,5 @@ __all__ = [
     "RegisterAliasTable", "CheckpointPool",
     "RenameUnit", "RenameFile", "DestRecord",
     "ReleaseScheme", "SchemeStats", "BaselineScheme", "NonSpecEarlyReleaseScheme",
-    "AtrScheme", "CombinedScheme", "make_scheme", "SCHEME_NAMES",
+    "AtrScheme", "CombinedScheme", "make_scheme", "SCHEMES", "SCHEME_NAMES",
 ]

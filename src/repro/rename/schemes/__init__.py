@@ -1,6 +1,12 @@
-"""Register release schemes: baseline, nonspec-ER, ATR, combined."""
+"""Register release schemes: baseline, nonspec-ER, ATR, combined.
 
-from typing import Optional
+The scheme catalog is the :data:`SCHEMES` registry: each entry is a
+factory ``(redefine_delay, debug_checks) -> ReleaseScheme``.  Every
+layer that needs the list of schemes — CLI ``choices=``, sweep grids,
+the service's job submission, ``repro list schemes`` — derives it from
+here, so registering a new scheme (in-tree or through the plugin hook,
+see :mod:`repro.registry`) is one declaration, not four edits.
+"""
 
 from .atr import AtrScheme
 from .base import ReleaseScheme, SchemeStats
@@ -8,32 +14,62 @@ from .baseline import BaselineScheme
 from .combined import CombinedScheme
 from .nonspec import NonSpecEarlyReleaseScheme
 from .tracking import ConsumerTrackingScheme
+from ...registry import Registry
 
-SCHEME_NAMES = ("baseline", "nonspec_er", "atr", "combined")
+SCHEMES: Registry = Registry(
+    "scheme", doc="register release schemes (paper Figure 10)")
+
+
+@SCHEMES.register("baseline")
+def _make_baseline(redefine_delay: int = 0,
+                   debug_checks: bool = True) -> ReleaseScheme:
+    return BaselineScheme()
+
+
+@SCHEMES.register("nonspec_er")
+def _make_nonspec(redefine_delay: int = 0,
+                  debug_checks: bool = True) -> ReleaseScheme:
+    return NonSpecEarlyReleaseScheme()
+
+
+@SCHEMES.register("atr")
+def _make_atr(redefine_delay: int = 0,
+              debug_checks: bool = True) -> ReleaseScheme:
+    return AtrScheme(redefine_delay=redefine_delay, debug_checks=debug_checks)
+
+
+@SCHEMES.register("combined")
+def _make_combined(redefine_delay: int = 0,
+                   debug_checks: bool = True) -> ReleaseScheme:
+    return CombinedScheme(redefine_delay=redefine_delay,
+                          debug_checks=debug_checks)
+
+
+#: The built-in scheme names, frozen at import (back-compat constant;
+#: use ``SCHEMES.names()`` for the live set including plugins).
+SCHEME_NAMES = SCHEMES.names()
 
 
 def make_scheme(name: str, redefine_delay: int = 0, debug_checks: bool = True) -> ReleaseScheme:
-    """Factory for the four schemes the paper evaluates (Figure 10).
+    """Factory for a registered release scheme.
 
     Args:
-        name: One of :data:`SCHEME_NAMES`.
+        name: A name in :data:`SCHEMES` (the paper's four, or a plugin).
         redefine_delay: Pipeline delay of the ATR redefinition signal
             (paper Figure 13 evaluates 0, 1, 2).
         debug_checks: Cross-check ATR's flush walk against the oracle.
     """
-    if name == "baseline":
-        return BaselineScheme()
-    if name == "nonspec_er":
-        return NonSpecEarlyReleaseScheme()
-    if name == "atr":
-        return AtrScheme(redefine_delay=redefine_delay, debug_checks=debug_checks)
-    if name == "combined":
-        return CombinedScheme(redefine_delay=redefine_delay, debug_checks=debug_checks)
-    raise ValueError(f"unknown scheme {name!r}; expected one of {SCHEME_NAMES}")
+    try:
+        factory = SCHEMES.get(name)
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; expected one of {SCHEMES.names()}"
+        ) from None
+    return factory(redefine_delay=redefine_delay, debug_checks=debug_checks)
 
 
 __all__ = [
     "ReleaseScheme", "SchemeStats", "ConsumerTrackingScheme",
     "BaselineScheme", "NonSpecEarlyReleaseScheme", "AtrScheme", "CombinedScheme",
-    "make_scheme", "SCHEME_NAMES",
+    "make_scheme", "SCHEMES", "SCHEME_NAMES",
 ]

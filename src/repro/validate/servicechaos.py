@@ -64,9 +64,11 @@ CHAOS_MAX_ATTEMPTS = 10
 
 def chaos_cells(spec: ServiceFaultSpec) -> List[CellSpec]:
     """A deterministic set of ``spec.cells`` distinct cell specs."""
+    from ..rename.schemes import SCHEME_NAMES
+
     bases = [(rf, scheme)
              for rf in (40, 52, 64, 128)
-             for scheme in ("baseline", "nonspec_er", "atr", "combined")]
+             for scheme in SCHEME_NAMES]
     out: List[CellSpec] = []
     instructions = 500
     while len(out) < spec.cells:

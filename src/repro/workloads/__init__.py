@@ -13,18 +13,26 @@ from .suite import (
     ALL_BENCHMARKS,
     SPEC_FP,
     SPEC_INT,
+    WORKLOADS,
+    Workload,
+    WorkloadVariant,
     build_suite,
     build_trace,
     builder_for,
     clear_trace_cache,
     is_fp,
     resolve,
+    split_variant,
+    workload_for,
+    workload_names,
 )
 from .synthesis import PROFILES, WorkloadProfile, synthesize
 
 __all__ = [
     "SPEC_INT", "SPEC_FP", "ALL_BENCHMARKS",
+    "WORKLOADS", "Workload", "WorkloadVariant",
     "build_trace", "build_suite", "builder_for", "resolve", "is_fp",
+    "split_variant", "workload_for", "workload_names",
     "clear_trace_cache",
     "WorkloadProfile", "synthesize", "PROFILES",
     "SimPoint", "basic_block_vectors", "kmeans", "pick_simpoints",

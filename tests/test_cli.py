@@ -9,6 +9,42 @@ def test_list(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
     assert "505.mcf_r" in out and "554.roms_r" in out
+    # variant refs are addressable and listed alongside their base
+    assert "505.mcf_r/ref2" in out
+
+
+def test_list_categories(capsys):
+    assert main(["list", "schemes"]) == 0
+    out = capsys.readouterr().out
+    assert "atr" in out and "combined" in out
+
+    assert main(["list", "configs"]) == 0
+    out = capsys.readouterr().out
+    assert "golden_cove" in out and "golden_cove_rf64" in out
+
+    assert main(["list", "predictors"]) == 0
+    assert "tage" in capsys.readouterr().out
+
+    assert main(["list", "figures"]) == 0
+    assert "fig06" in capsys.readouterr().out
+
+
+def test_run_variant(capsys):
+    assert main(["run", "mcf/ref2", "-n", "1500", "-r", "64", "-s", "atr"]) == 0
+    out = capsys.readouterr().out
+    assert "505.mcf_r/ref2" in out and "IPC" in out
+
+
+def test_run_config_preset(capsys):
+    assert main(["run", "xz", "-n", "1500", "-c", "golden_cove_rf64"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out and "@ 64 regs" in out
+
+
+def test_run_config_preset_composes_with_rf_override(capsys):
+    # -c and -r compose: -r overrides the preset's register-file size
+    assert main(["run", "xz", "-n", "1500", "-c", "golden_cove", "-r", "72"]) == 0
+    assert "@ 72 regs" in capsys.readouterr().out
 
 
 def test_disasm(capsys):

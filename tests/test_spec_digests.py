@@ -1,0 +1,71 @@
+"""Spec-digest stability: the registry refactor must not move the cache.
+
+``tests/data/golden_digests.json`` holds digests captured before the
+registry layer existed.  If any of them drift, every cached result in
+every user's store silently invalidates — so this is a byte-identity
+check, not a smoke test.  Variant-qualified benchmarks
+(``505.mcf_r/ref2``) ride in ``CellSpec.benchmark`` as plain strings and
+therefore hash to their own cells.
+"""
+
+import json
+import pathlib
+
+from repro.harness.spec import CellSpec, RegionSpec, TierPolicy, spec_digest
+
+GOLDEN = pathlib.Path(__file__).parent / "data" / "golden_digests.json"
+
+
+def _spec_for(key: str) -> CellSpec:
+    """Rebuild the spec a golden key was captured from.
+
+    Keys are ``benchmark|scheme[|flavor]`` over the
+    ``CellSpec(rf_size=64, instructions=5000)`` grid; flavors mirror the
+    capture script exactly.
+    """
+    parts = key.split("|")
+    benchmark, scheme = parts[0], parts[1]
+    flavor = parts[2] if len(parts) > 2 else None
+    kwargs = dict(benchmark=benchmark, rf_size=64, scheme=scheme,
+                  instructions=5000)
+    if flavor == "d2":
+        kwargs["redefine_delay"] = 2
+    elif flavor == "events":
+        kwargs["record_register_events"] = True
+    elif flavor == "tiered":
+        kwargs["tier"] = TierPolicy(mode="tiered")
+    if scheme == "regions":
+        kwargs.pop("scheme")
+        return RegionSpec(benchmark=benchmark, instructions=5000)
+    return CellSpec(**kwargs)
+
+
+def test_golden_digests_unchanged():
+    golden = json.loads(GOLDEN.read_text())
+    assert len(golden) == 118
+    mismatched = {key: (expected, spec_digest(_spec_for(key)))
+                  for key, expected in golden.items()
+                  if spec_digest(_spec_for(key)) != expected}
+    assert not mismatched, (
+        f"{len(mismatched)} spec digests drifted (cache would invalidate): "
+        f"{sorted(mismatched)[:5]}")
+
+
+def test_variant_digest_is_distinct():
+    base = CellSpec(benchmark="505.mcf_r", rf_size=64, scheme="atr",
+                    instructions=5000)
+    ref2 = CellSpec(benchmark="505.mcf_r/ref2", rf_size=64, scheme="atr",
+                    instructions=5000)
+    assert spec_digest(base) != spec_digest(ref2)
+    # and the base digest is the golden one — variants don't perturb it
+    golden = json.loads(GOLDEN.read_text())
+    assert spec_digest(base) == golden["505.mcf_r|atr"]
+
+
+def test_every_variant_name_hashes_uniquely():
+    from repro.workloads import workload_names
+
+    digests = {spec_digest(CellSpec(benchmark=name, rf_size=64,
+                                    scheme="baseline", instructions=5000))
+               for name in workload_names(variants=True)}
+    assert len(digests) == len(workload_names(variants=True))

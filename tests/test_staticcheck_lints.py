@@ -194,9 +194,13 @@ class TestCli:
         assert "505.mcf_r" in out and "clean" in out
 
     def test_lint_all(self, capsys):
+        from repro.workloads import workload_names
+
         assert main(["lint", "--all"]) == 0
         out = capsys.readouterr().out
-        assert out.count("clean") == len(ALL_BENCHMARKS)
+        # --all covers every addressable ref, variants included
+        assert out.count("clean") == len(workload_names(variants=True))
+        assert "505.mcf_r/ref2" in out
 
     def test_lint_without_benchmarks_is_usage_error(self, capsys):
         assert main(["lint"]) == 2

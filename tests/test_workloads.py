@@ -78,6 +78,105 @@ class TestSuiteRegistry:
         assert 0.05 < trace.summary()["branch_ratio"] < 0.4
 
 
+class TestVariants:
+    """Multi-ref workload variants: ``505.mcf_r/ref2`` style names."""
+
+    def test_at_least_eight_benchmarks_have_a_second_ref(self):
+        from repro.workloads import WORKLOADS
+
+        with_refs = [w.name for w in WORKLOADS.values() if w.variants]
+        assert len(with_refs) >= 6
+
+    def test_workload_names_include_variants(self):
+        from repro.workloads import workload_names
+
+        names = workload_names(variants=True)
+        assert "505.mcf_r" in names and "505.mcf_r/ref2" in names
+        assert len(names) >= 29
+        # base names only when variants are excluded
+        assert workload_names(variants=False) == ALL_BENCHMARKS
+
+    def test_split_and_resolve_variant(self):
+        from repro.workloads import split_variant
+
+        assert split_variant("505.mcf_r/ref2") == ("505.mcf_r", "ref2")
+        assert split_variant("505.mcf_r") == ("505.mcf_r", None)
+        assert resolve("mcf/ref2") == "505.mcf_r/ref2"
+        assert resolve("505.mcf_r/ref") == "505.mcf_r"
+
+    def test_unknown_variant_rejected(self):
+        from repro.workloads import workload_for
+
+        with pytest.raises(KeyError, match="ref9"):
+            workload_for("505.mcf_r/ref9")
+
+    def test_is_fp_ignores_variant(self):
+        assert is_fp("503.bwaves_r/ref2")
+        assert not is_fp("505.mcf_r/ref2")
+
+    def test_variant_changes_data_not_structure(self):
+        base = build_trace("505.mcf_r", 1500, use_cache=False)
+        ref2 = build_trace("505.mcf_r/ref2", 1500, use_cache=False)
+        assert ref2.name == "505.mcf_r/ref2"
+        # same static program shape (instruction mix), different dynamic
+        # behaviour somewhere in the trace
+        assert base.summary()["branch_ratio"] == pytest.approx(
+            ref2.summary()["branch_ratio"], abs=0.15)
+        assert any(x.mem_addr != y.mem_addr or x.pc != y.pc
+                   for x, y in zip(base.entries, ref2.entries))
+
+    def test_variant_traces_deterministic(self):
+        a = build_trace("531.deepsjeng_r/ref2", 1200, use_cache=False)
+        b = build_trace("531.deepsjeng_r/ref2", 1200, use_cache=False)
+        assert all(x.pc == y.pc and x.mem_addr == y.mem_addr
+                   for x, y in zip(a.entries, b.entries))
+
+    def test_variant_rejects_iterations_param(self):
+        from repro.workloads import WorkloadVariant
+
+        with pytest.raises(ValueError, match="iterations"):
+            WorkloadVariant("bad", params={"iterations": 9})
+
+
+class TestTraceCache:
+    def test_cache_keys_include_variant(self):
+        from repro.workloads.suite import _trace_cache, clear_trace_cache
+
+        clear_trace_cache()
+        base = build_trace("505.mcf_r", 1500)
+        ref2 = build_trace("505.mcf_r/ref2", 1500)
+        assert base is not ref2
+        assert ("505.mcf_r", 1500) in _trace_cache
+        assert ("505.mcf_r/ref2", 1500) in _trace_cache
+        assert build_trace("mcf/ref2", 1500) is ref2  # short name, same key
+
+    def test_cache_is_bounded_lru(self, monkeypatch):
+        from repro.workloads.suite import _trace_cache, clear_trace_cache
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "2")
+        clear_trace_cache()
+        build_trace("mcf", 1000)
+        xz = build_trace("xz", 1000)
+        build_trace("lbm", 1000)  # evicts mcf (oldest)
+        assert len(_trace_cache) == 2
+        assert ("505.mcf_r", 1000) not in _trace_cache
+        assert build_trace("xz", 1000) is xz  # survivor still cached
+        clear_trace_cache()
+
+    def test_lru_touch_on_hit(self, monkeypatch):
+        from repro.workloads.suite import _trace_cache, clear_trace_cache
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "2")
+        clear_trace_cache()
+        mcf = build_trace("mcf", 1000)
+        build_trace("xz", 1000)
+        build_trace("mcf", 1000)  # touch: mcf becomes most-recent
+        build_trace("lbm", 1000)  # evicts xz, not mcf
+        assert build_trace("mcf", 1000) is mcf
+        assert ("557.xz_r", 1000) not in _trace_cache
+        clear_trace_cache()
+
+
 class TestSynthesis:
     def test_profiles_generate_runnable_programs(self):
         for profile in PROFILES.values():
