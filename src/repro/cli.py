@@ -23,13 +23,20 @@ Commands:
   ``$REPRO_SERVICE_ADDR``).
 * ``work`` — join this host's cores to a remote coordinator
   (multi-host sharding; results travel back over the socket).
-* ``analyze`` — trace-level atomic-region analysis of a benchmark.
-* ``lint`` — static analysis of kernel programs: CFG/dataflow findings
-  with stable rule IDs, plus (``--oracle``) the dynamic-vs-static ATR
-  soundness cross-check; exits non-zero on any unsuppressed finding.
+* ``analyze`` — trace-level atomic-region analysis of a benchmark;
+  ``analyze static [BENCH...]`` prints the static memory-dependence /
+  ATR-opportunity table (regions, alias verdicts, forwardable loads,
+  static release bound vs. dynamically realized early releases) in
+  text or ``--format json``.
+* ``lint`` — static analysis of kernel programs: CFG/dataflow/memory
+  findings with stable rule IDs, plus (``--oracle``) the
+  dynamic-vs-static ATR soundness cross-check; exits non-zero on any
+  unsuppressed finding.  ``--format json`` emits machine-readable
+  findings; ``--no-warn-unused-ignore`` silences the stale-suppression
+  meta-finding.
 * ``list`` — introspect the registries: ``repro list
-  [workloads|schemes|predictors|configs|figures|all]`` (plugin entries
-  included; workloads list every addressable input variant).
+  [workloads|schemes|predictors|configs|figures|lints|all]`` (plugin
+  entries included; workloads list every addressable input variant).
 * ``disasm`` — disassemble a benchmark's kernel program.
 
 Every ``choices=`` list below is derived from the corresponding registry
@@ -47,7 +54,7 @@ from typing import List, Optional
 
 #: ``repro list`` categories (the registry kinds it can introspect).
 LIST_CATEGORIES = ("workloads", "schemes", "predictors", "configs",
-                   "figures", "all")
+                   "figures", "lints", "all")
 
 
 def _scheme_names() -> tuple:
@@ -298,13 +305,25 @@ def build_parser() -> argparse.ArgumentParser:
                   help="service auth token "
                        "(default $REPRO_SERVICE_TOKEN)")
 
-    analyze = sub.add_parser("analyze", help="atomic-region analysis")
-    _add_common(analyze)
+    analyze = sub.add_parser(
+        "analyze",
+        help="atomic-region analysis; `analyze static [BENCH...]` prints "
+             "the static memory-dependence / ATR-opportunity table")
+    analyze.add_argument(
+        "benchmark", nargs="+",
+        help="suite name (e.g. mcf), or `static` followed by benchmark "
+             "names (none = the whole suite)")
+    analyze.add_argument("-n", "--instructions", type=int, default=10_000,
+                         help="dynamic trace length (default 10000)")
+    analyze.add_argument("--format", choices=("text", "json"),
+                         default="text", dest="fmt",
+                         help="output format of the static table "
+                              "(default text)")
 
     lint = sub.add_parser(
         "lint",
-        help="static analysis of kernel programs (CFG/dataflow lints, "
-             "optional dynamic-vs-static ATR soundness oracle)")
+        help="static analysis of kernel programs (CFG/dataflow/memory "
+             "lints, optional dynamic-vs-static ATR soundness oracle)")
     lint.add_argument("benchmarks", nargs="*",
                       help="suite names to lint (e.g. mcf 505.mcf_r)")
     lint.add_argument("--all", action="store_true",
@@ -317,6 +336,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="oracle trace length (default 1200)")
     lint.add_argument("-v", "--verbose", action="store_true",
                       help="show suppressed findings and per-kernel stats")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", dest="fmt",
+                      help="findings output format (default text)")
+    lint.add_argument("--no-warn-unused-ignore", action="store_true",
+                      help="do not flag lint: ignore[...] markers that "
+                           "suppress nothing")
 
     lst = sub.add_parser(
         "list", help="introspect a registry (workloads include variants)")
@@ -818,10 +843,17 @@ def _cmd_work(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
+    if args.benchmark[0] == "static":
+        return _cmd_analyze_static(args)
+    if len(args.benchmark) != 1:
+        print("analyze: exactly one benchmark (or `analyze static "
+              "[BENCH...]`)", file=sys.stderr)
+        return 2
+
     from .analysis import classify_regions
     from .workloads import build_trace, resolve
 
-    name = resolve(args.benchmark)
+    name = resolve(args.benchmark[0])
     trace = build_trace(name, args.instructions)
     report = classify_regions(trace)
     print(f"{name}: {len(trace)} instructions, "
@@ -832,7 +864,100 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _static_analysis_row(name: str, instructions: int) -> dict:
+    """One benchmark's static memory/opportunity summary + the dynamic
+    committed-path realized releases the static bound must dominate."""
+    from .harness import CellSpec, sweep
+    from .staticcheck import (
+        analyze_memdep,
+        analyze_pressure,
+        analyze_regions,
+    )
+    from .workloads import build_trace, builder_for
+
+    program = builder_for(name)(4)
+    memdep = analyze_memdep(program)
+    regions = analyze_regions(program)
+    pressure = analyze_pressure(program, regions=regions)
+    mem_regions = memdep.classify_regions(regions)
+    alias = memdep.alias_counts()
+    counts = regions.counts()
+
+    trace = build_trace(name, instructions)
+    static_bound = pressure.trace_bound(e.pc for e in trace.entries)
+
+    spec = CellSpec(benchmark=name, rf_size=64, scheme="atr",
+                    instructions=instructions, record_register_events=True)
+    cell = sweep([spec])[spec]
+    realized = sum(1 for record in (cell.event_records or [])
+                   if record.early_release_cycle is not None)
+    return {
+        "benchmark": name,
+        "instructions": instructions,
+        "regions": {"closed": counts["closed"], "atomic": counts["atomic"],
+                    "memory_classified": len(mem_regions)},
+        "alias_pairs": alias,
+        "forwardable_loads": sum(len(r.forwardable) for r in mem_regions),
+        "safe_reorder": sum(len(r.safe_reorder) for r in mem_regions),
+        "blocked_pairs": sum(len(r.blocked_pairs) for r in mem_regions),
+        "dependence_edges": len(memdep.dependence_edges()),
+        "static_bound": static_bound,
+        "dynamic_realized": realized,
+        "bound_ok": realized <= static_bound,
+    }
+
+
+def _cmd_analyze_static(args) -> int:
+    import json
+
+    from .workloads import resolve, workload_names
+
+    requested = args.benchmark[1:]
+    if requested:
+        try:
+            names = [resolve(b) for b in requested]
+        except KeyError as exc:
+            print(f"analyze: {exc.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        names = list(workload_names(variants=True))
+
+    rows = [_static_analysis_row(name, args.instructions) for name in names]
+    violations = [row for row in rows if not row["bound_ok"]]
+
+    if args.fmt == "json":
+        print(json.dumps({"instructions": args.instructions,
+                          "benchmarks": rows,
+                          "bound_violations": len(violations)}, indent=2))
+    else:
+        header = (f"{'benchmark':<24} {'regions':>7} {'atomic':>6} "
+                  f"{'must':>5} {'may':>5} {'no':>5} {'fwd':>4} "
+                  f"{'bound':>7} {'dynamic':>8}")
+        print(header)
+        print("-" * len(header))
+        for row in rows:
+            alias = row["alias_pairs"]
+            mark = "" if row["bound_ok"] else "  VIOLATION"
+            print(f"{row['benchmark']:<24} "
+                  f"{row['regions']['closed']:>7} "
+                  f"{row['regions']['atomic']:>6} "
+                  f"{alias['must']:>5} {alias['may']:>5} {alias['no']:>5} "
+                  f"{row['forwardable_loads']:>4} "
+                  f"{row['static_bound']:>7} "
+                  f"{row['dynamic_realized']:>8}{mark}")
+        print(f"\nstatic ATR bound vs. committed-path realized releases "
+              f"(atr, rf=64, n={args.instructions}); "
+              f"{len(violations)} violation(s)")
+    if violations:
+        print(f"analyze: static bound violated on "
+              f"{len(violations)} benchmark(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_lint(args) -> int:
+    import json
+
     from .staticcheck import analyze_regions, check_trace, lint_program
     from .workloads import build_trace, builder_for, resolve
 
@@ -850,29 +975,50 @@ def _cmd_lint(args) -> int:
         print("lint: name benchmarks or pass --all", file=sys.stderr)
         return 2
 
+    warn_unused = not args.no_warn_unused_ignore
     failed = 0
+    json_out = []
     for name in names:
         program = builder_for(name)(4)
-        report = lint_program(program)
+        report = lint_program(program, warn_unused_ignore=warn_unused)
         static = analyze_regions(program)
         counts = static.counts()
-        status = "clean" if report.ok else f"{len(report.active)} finding(s)"
-        if report.suppressed:
-            status += f" (+{len(report.suppressed)} suppressed)"
-        print(f"{name}: {status}; {counts['atomic']}/{counts['closed']} "
-              f"closed windows statically atomic")
-        shown = report.findings if args.verbose else report.active
-        for finding in shown:
-            print(finding.render(program))
+        if args.fmt == "json":
+            json_out.append({
+                "benchmark": name,
+                "ok": report.ok,
+                "atomic_windows": counts["atomic"],
+                "closed_windows": counts["closed"],
+                "findings": [
+                    {"rule": f.rule, "severity": f.severity.value,
+                     "pc": f.pc, "label": program.label_of(f.pc),
+                     "message": f.message, "suppressed": f.suppressed}
+                    for f in report.findings
+                ],
+            })
+        else:
+            status = ("clean" if report.ok
+                      else f"{len(report.active)} finding(s)")
+            if report.suppressed:
+                status += f" (+{len(report.suppressed)} suppressed)"
+            print(f"{name}: {status}; {counts['atomic']}/{counts['closed']} "
+                  f"closed windows statically atomic")
+            shown = report.findings if args.verbose else report.active
+            for finding in shown:
+                print(finding.render(program))
         if not report.ok:
             failed += 1
         if args.oracle:
             trace = build_trace(name, args.instructions)
             for scheme in ("atr", "combined"):
                 oracle = check_trace(trace, scheme=scheme, report=static)
-                print(f"  oracle {oracle.render()}")
+                if args.fmt != "json":
+                    print(f"  oracle {oracle.render()}")
                 if not oracle.ok:
                     failed += 1
+    if args.fmt == "json":
+        print(json.dumps({"benchmarks": json_out,
+                          "failed": failed}, indent=2))
     if failed:
         print(f"lint: {failed} benchmark/oracle failure(s)", file=sys.stderr)
     return 1 if failed else 0
@@ -927,6 +1073,14 @@ def _cmd_list(args) -> int:
         from .experiments import FIGURES
 
         _list_registry("figures", FIGURES)
+    if what in ("lints", "all"):
+        from .staticcheck import META_RULES, RULES
+
+        print(f"lints ({len(RULES)} rules, {len(META_RULES)} meta):")
+        for rule, (severity, description) in RULES.items():
+            print(f"  {rule:<26} {severity.value:<8} {description}")
+        for rule, (severity, description) in META_RULES.items():
+            print(f"  {rule:<26} {severity.value:<8} {description} (meta)")
     return 0
 
 

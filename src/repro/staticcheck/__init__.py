@@ -18,14 +18,32 @@ Passes, in pipeline order:
 3. :mod:`~repro.staticcheck.regions` — the static atomic-region pass,
    mirroring the exact breaker rules of
    :func:`repro.analysis.regions.classify_regions`;
-4. :mod:`~repro.staticcheck.lints` — findings with stable rule IDs;
-5. :mod:`~repro.staticcheck.oracle` — the differential soundness oracle
-   cross-checking pipeline releases against statically-proven windows.
+4. :mod:`~repro.staticcheck.memdep` — value-set analysis over addresses:
+   must/may-alias verdicts, dependence edges, and the memory-aware
+   atomic-region classification (reorderable / forwardable accesses);
+5. :mod:`~repro.staticcheck.pressure` — static live-range pressure and
+   the sound ATR opportunity upper bound;
+6. :mod:`~repro.staticcheck.lints` — findings with stable rule IDs;
+7. :mod:`~repro.staticcheck.oracle` — the differential soundness oracle
+   cross-checking pipeline releases against statically-proven windows
+   (:class:`AtrSoundnessProbe`, and :class:`StaticBoundProbe` for the
+   opportunity bound).
 """
 
 from .cfg import CFG, BasicBlock, build_cfg
 from .dataflow import DataflowResult, Window, analyze_dataflow
-from .lints import RULES, LintReport, lint_benchmark, lint_program
+from .lints import META_RULES, RULES, LintReport, lint_benchmark, lint_program
+from .memdep import (
+    MAY,
+    MUST,
+    NO,
+    MemAccess,
+    MemDepResult,
+    RegionMemory,
+    StridedInterval,
+    ValueSet,
+    analyze_memdep,
+)
 from .oracle import (
     AtrSoundnessProbe,
     AtrViolation,
@@ -35,6 +53,12 @@ from .oracle import (
     check_trace,
     compare_branch_free,
 )
+from .pressure import (
+    BoundViolation,
+    PressureReport,
+    StaticBoundProbe,
+    analyze_pressure,
+)
 from .regions import StaticRegionReport, StaticWindow, analyze_regions
 from .report import Finding, Severity, render_findings
 
@@ -42,7 +66,11 @@ __all__ = [
     "CFG", "BasicBlock", "build_cfg",
     "DataflowResult", "Window", "analyze_dataflow",
     "StaticRegionReport", "StaticWindow", "analyze_regions",
-    "RULES", "LintReport", "lint_program", "lint_benchmark",
+    "MemDepResult", "MemAccess", "RegionMemory", "StridedInterval",
+    "ValueSet", "analyze_memdep", "MUST", "MAY", "NO",
+    "PressureReport", "StaticBoundProbe", "BoundViolation",
+    "analyze_pressure",
+    "RULES", "META_RULES", "LintReport", "lint_program", "lint_benchmark",
     "AtrSoundnessProbe", "AtrViolation", "OracleReport",
     "check_trace", "check_benchmark", "compare_branch_free",
     "branch_free_counts_match",

@@ -17,12 +17,29 @@ rule                     severity  fires when
 ``df-dead-store``        warning   a destination write that no path uses before
                                    redefinition (the final architectural state
                                    counts as a use)
+``mem-undef-load``       warning   load from a location no store and no data
+                                   image can reach (provably reads the zero
+                                   fill)
+``mem-dead-store``       warning   store overwritten on every path before any
+                                   load or program exit could observe it
+``mem-aliased-in-region`` warning  may-alias load/store pair with common
+                                   symbolic provenance inside one atomic-but-
+                                   for-memory region (blocks forwarding)
+``mem-overlap-partial``  warning   two accesses provably overlap with neither
+                                   footprint containing the other (width
+                                   confusion)
 =======================  ========  ==============================================
+
+The memory rules are backed by the value-set alias analysis in
+:mod:`repro.staticcheck.memdep`.
 
 A finding is suppressed by a ``lint: ignore[rule-id]`` marker in the
 instruction's ``comment`` field — attached in kernel source via
 :meth:`repro.isa.ProgramBuilder.lint_ignore` on the offending emit.
 Suppressed findings stay in the report (marked) but do not fail the run.
+A marker that suppresses nothing draws the ``lint-unused-ignore``
+meta-finding (disable with ``warn_unused_ignore=False`` /
+``--no-warn-unused-ignore``) so stale suppressions cannot linger.
 """
 
 from __future__ import annotations
@@ -56,6 +73,26 @@ RULES: Dict[str, Tuple[Severity, str]] = {
     "df-dead-store": (
         Severity.WARNING,
         "destination is never used before being redefined"),
+    "mem-undef-load": (
+        Severity.WARNING,
+        "load from memory no store or data image initializes"),
+    "mem-dead-store": (
+        Severity.WARNING,
+        "store overwritten before any load or exit can observe it"),
+    "mem-aliased-in-region": (
+        Severity.WARNING,
+        "may-alias pair inside an atomic region blocks forwarding"),
+    "mem-overlap-partial": (
+        Severity.WARNING,
+        "partially overlapping access widths (neither covers the other)"),
+}
+
+#: Meta-rules about the lint machinery itself (not suppressible targets
+#: of ``lint: ignore[...]``, and not part of the per-program rule set).
+META_RULES: Dict[str, Tuple[Severity, str]] = {
+    "lint-unused-ignore": (
+        Severity.WARNING,
+        "lint: ignore[...] marker suppresses no finding"),
 }
 
 _IGNORE_RE = re.compile(r"lint:\s*ignore\[([a-z0-9\-,\s]+)\]")
@@ -104,17 +141,19 @@ class LintReport:
 
 class _Linter:
     def __init__(self, program: Program, cfg: Optional[CFG] = None,
-                 dataflow: Optional[DataflowResult] = None):
+                 dataflow: Optional[DataflowResult] = None,
+                 warn_unused_ignore: bool = True):
         self.program = program
         self.cfg = cfg if cfg is not None else build_cfg(program)
         self.dataflow = (dataflow if dataflow is not None
                          else DataflowResult(self.cfg))
+        self.warn_unused_ignore = warn_unused_ignore
         self.report = LintReport(program=program)
 
     def _emit(self, rule: str, pc: int, message: str) -> None:
-        severity, _ = RULES[rule]
+        severity, _ = RULES.get(rule) or META_RULES[rule]
         instr = self.program.at(pc)
-        suppressed = (instr is not None
+        suppressed = (rule in RULES and instr is not None
                       and rule in suppressed_rules(instr.comment))
         self.report.findings.append(Finding(
             rule=rule, severity=severity, program=self.program.name,
@@ -158,13 +197,55 @@ class _Linter:
             self._emit("df-dead-store", pc,
                        f"{reg.name} is redefined on every path before "
                        f"any use")
+        self._run_memory_rules()
+        if self.warn_unused_ignore:
+            self._check_unused_ignores()
         return self.report
+
+    def _run_memory_rules(self) -> None:
+        from .memdep import analyze_memdep
+        from .regions import analyze_regions
+
+        memdep = analyze_memdep(self.program, cfg=self.cfg)
+        label = self.program.label_of
+        for pc in memdep.undefined_loads():
+            self._emit("mem-undef-load", pc,
+                       "load from memory no store or data image can "
+                       "reach (provably reads the zero fill)")
+        for pc in memdep.dead_stores():
+            self._emit("mem-dead-store", pc,
+                       "store is overwritten on every path before any "
+                       "load or program exit can observe it")
+        for pc_a, pc_b in memdep.partial_overlaps():
+            a, b = memdep.access_at(pc_a), memdep.access_at(pc_b)
+            self._emit("mem-overlap-partial", pc_b,
+                       f"{b.width}-byte {b.kind} partially overlaps the "
+                       f"{a.width}-byte {a.kind} at pc {pc_a} "
+                       f"({label(pc_a)}); neither covers the other")
+        regions = analyze_regions(self.program)
+        for pc_a, pc_b in memdep.region_may_alias(regions):
+            self._emit("mem-aliased-in-region", pc_b,
+                       f"may-alias with the access at pc {pc_a} "
+                       f"({label(pc_a)}) through the same loaded pointer "
+                       f"inside one atomic region; would block "
+                       f"store-to-load forwarding")
+
+    def _check_unused_ignores(self) -> None:
+        used = {(f.rule, f.pc) for f in self.report.findings if f.suppressed}
+        for pc, instr in enumerate(self.program.instructions):
+            for rule in suppressed_rules(instr.comment):
+                if (rule, pc) not in used:
+                    self._emit("lint-unused-ignore", pc,
+                               f"lint: ignore[{rule}] suppresses no "
+                               f"finding at this instruction")
 
 
 def lint_program(program: Program, cfg: Optional[CFG] = None,
-                 dataflow: Optional[DataflowResult] = None) -> LintReport:
+                 dataflow: Optional[DataflowResult] = None,
+                 warn_unused_ignore: bool = True) -> LintReport:
     """Run every rule against *program*."""
-    return _Linter(program, cfg=cfg, dataflow=dataflow).run()
+    return _Linter(program, cfg=cfg, dataflow=dataflow,
+                   warn_unused_ignore=warn_unused_ignore).run()
 
 
 def lint_benchmark(name: str, iterations: int = 4) -> LintReport:

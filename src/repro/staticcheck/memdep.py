@@ -1,0 +1,900 @@
+"""Static memory dependence: value-set analysis (VSA) over addresses.
+
+Every address in this machine is ``base register + constant
+displacement`` (:class:`repro.isa.Instruction` memory forms), so a
+flow-sensitive abstract interpretation that tracks, per register, *which
+base a value derives from and by how much it is offset* disambiguates
+most static load/store pairs.  The abstract value of a register is a
+**value set**: a small map from *region* to a :class:`StridedInterval`
+of byte offsets, or ``TOP`` (no information).  Regions are either
+
+* ``ABS`` — the absolute region; offsets are concrete machine values
+  (program entry zero-initializes every register, so the entry state is
+  ``{ABS: 0}`` for all registers, which is both sound and precise); or
+* a **symbolic region** ``("pc", n)`` — the unknown-but-fixed value
+  produced by the instruction at pc *n* (loads; any producer the
+  transfer functions do not model).  Offsets within one symbolic region
+  are mathematical integers, so differences survive the machine's
+  mod-2^64 arithmetic.
+
+At ordinary confluence points the precise strided-interval join
+applies.  At **loop heads** — targets of retreating edges, so every CFG
+cycle passes through at least one — the joined state is additionally
+pushed through a monotone upper-closure abstraction with a finite
+non-singleton image: singletons stay exact (loop-invariant base
+addresses keep their full precision), non-singleton bounds round
+outward to power-of-two thresholds, and strides drop to their largest
+power-of-two divisor.  Because the abstraction is a *monotone function*
+rather than a history-dependent widening operator, the whole equation
+system stays monotone, every per-variable chain is finite (at most one
+singleton, then the finite rounded lattice), and chaotic iteration
+converges to the same least fixpoint **regardless of worklist order** —
+a property the test suite asserts by shuffling the order.  Power-of-two
+strides are also exactly what the congruence-based disjointness proof
+wants: they divide 2^64, so residues survive address wraparound.
+
+Alias verdicts between two accesses:
+
+* ``must`` — provably identical start addresses: both single-region over
+  the *same* region with equal singleton offsets;
+* ``no``   — provably disjoint footprints: same region, and the strided
+  offset sets are separated by range or by congruence.  Congruence
+  disjointness (``w1 <= d`` and ``d + w2 <= g`` for ``d = (p2 - p1) mod
+  g``, ``g = gcd`` of the strides) is applied only when it survives the
+  machine's wraparound: ``g`` a power of two (then ``g | 2^64`` and
+  residues survive reduction), or both intervals bounded with total span
+  under 2^64;
+* ``may``  — everything else.  In particular, verdicts through a
+  symbolic region whose creating pc can re-execute (its block reaches
+  itself in the CFG) are demoted to ``may`` unless the caller proves the
+  two accesses observe the *same instance* of the region (the
+  atomic-region pass can: a region chain is deterministic and
+  re-executes nothing).
+
+On top of the verdicts: reaching stores (no-kill over-approximation),
+store-to-load dependence edges, the four ``mem-*`` lint rules, and the
+memory-aware atomic-region pass classifying which accesses inside an
+atomic-but-for-memory region are provably safe to reorder or forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..frontend.emulator import WORD_BYTES
+from ..isa import (
+    ArchReg,
+    Opcode,
+    Program,
+    RegClass,
+    VEC_LANES,
+    all_arch_regs,
+)
+from ..isa.semantics import MASK64, compute
+from .cfg import CFG, build_cfg
+from .regions import StaticRegionReport, StaticWindow
+
+#: Alias verdicts.
+MUST = "must"
+MAY = "may"
+NO = "no"
+
+#: The absolute region (base 0; offsets are machine values).
+ABS = "abs"
+
+#: Value sets wider than this many regions collapse to TOP.
+MAX_REGIONS = 4
+
+_TWO64 = 1 << 64
+
+
+def _region_key(region) -> Tuple[int, int]:
+    return (0, 0) if region == ABS else (1, region[1])
+
+
+@dataclass(frozen=True)
+class StridedInterval:
+    """Offsets ``{x : x ≡ phase (mod stride), lo <= x <= hi}``.
+
+    ``stride == 0`` is a singleton (``lo == hi == phase``); otherwise
+    ``phase`` is the canonical residue in ``[0, stride)`` and either
+    bound may be ``None`` (unbounded on that side).
+    """
+
+    stride: int
+    phase: int
+    lo: Optional[int]
+    hi: Optional[int]
+
+    @property
+    def is_singleton(self) -> bool:
+        return self.stride == 0
+
+    @property
+    def bounded(self) -> bool:
+        return self.lo is not None and self.hi is not None
+
+    def shift(self, k: int) -> "StridedInterval":
+        if self.stride == 0:
+            return si_const(self.phase + k)
+        return StridedInterval(
+            self.stride, (self.phase + k) % self.stride,
+            None if self.lo is None else self.lo + k,
+            None if self.hi is None else self.hi + k)
+
+    def add(self, other: "StridedInterval") -> "StridedInterval":
+        """Sound sum: ``{x + y}`` for x here, y in *other*."""
+        if other.stride == 0:
+            return self.shift(other.phase)
+        if self.stride == 0:
+            return other.shift(self.phase)
+        stride = gcd(self.stride, other.stride)
+        lo = (None if self.lo is None or other.lo is None
+              else self.lo + other.lo)
+        hi = (None if self.hi is None or other.hi is None
+              else self.hi + other.hi)
+        return _si_make(stride, self.phase + other.phase, lo, hi)
+
+    def negate(self) -> "StridedInterval":
+        if self.stride == 0:
+            return si_const(-self.phase)
+        return _si_make(
+            self.stride, -self.phase,
+            None if self.hi is None else -self.hi,
+            None if self.lo is None else -self.lo)
+
+    def join(self, other: "StridedInterval") -> "StridedInterval":
+        """Precise join: smallest representable superset of the union."""
+        if self == other:
+            return self
+        stride = _congruence_join(self, other)
+        lo = (None if self.lo is None or other.lo is None
+              else min(self.lo, other.lo))
+        hi = (None if self.hi is None or other.hi is None
+              else max(self.hi, other.hi))
+        return _si_make(stride, self.phase, lo, hi)
+
+    def abstract(self) -> "StridedInterval":
+        """Round into the finite loop-head lattice: singletons stay
+        exact; otherwise bounds round outward to power-of-two
+        thresholds and the stride drops to its largest power-of-two
+        divisor.  A monotone upper closure with a finite non-singleton
+        image, so any ascending chain through it is finite (it passes
+        through at most one singleton first)."""
+        if self.stride == 0:
+            return self
+        stride = self.stride & -self.stride
+        lo = None if self.lo is None else _round_down(self.lo)
+        hi = None if self.hi is None else _round_up(self.hi)
+        return _si_make(stride, self.phase, lo, hi)
+
+
+def si_const(value: int) -> StridedInterval:
+    return StridedInterval(0, value, value, value)
+
+
+#: No offset information within a region.
+SI_ANY = StridedInterval(1, 0, None, None)
+
+
+def _si_make(stride: int, phase: int, lo: Optional[int],
+             hi: Optional[int]) -> StridedInterval:
+    if lo is not None and hi is not None and lo == hi:
+        return si_const(lo)
+    stride = max(1, stride)
+    return StridedInterval(stride, phase % stride, lo, hi)
+
+
+def _congruence_join(a: StridedInterval, b: StridedInterval) -> int:
+    """Join in the arithmetic-congruence lattice: the largest modulus
+    both phases agree under."""
+    return gcd(a.stride, b.stride, abs(a.phase - b.phase))
+
+
+#: Bound thresholds for the loop-head abstraction: 0 and ±2^k.
+_THRESHOLDS = sorted({0}
+                     | {1 << k for k in range(64)}
+                     | {-(1 << k) for k in range(64)})
+
+
+def _round_down(x: int) -> Optional[int]:
+    best = None
+    for t in _THRESHOLDS:
+        if t <= x:
+            best = t
+        else:
+            break
+    return best
+
+
+def _round_up(x: int) -> Optional[int]:
+    for t in _THRESHOLDS:
+        if t >= x:
+            return t
+    return None
+
+
+class _Top:
+    """Singleton TOP value set (any address)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "TOP"
+
+
+TOP = _Top()
+
+
+@dataclass(frozen=True)
+class ValueSet:
+    """A non-TOP abstract value: sorted (region, interval) parts."""
+
+    parts: Tuple[Tuple[object, StridedInterval], ...]
+
+    @property
+    def regions(self) -> Tuple[object, ...]:
+        return tuple(region for region, _si in self.parts)
+
+    def get(self, region) -> Optional[StridedInterval]:
+        for part_region, si in self.parts:
+            if part_region == region:
+                return si
+        return None
+
+    @property
+    def single(self) -> Optional[Tuple[object, StridedInterval]]:
+        """The sole (region, interval) part, if there is exactly one."""
+        return self.parts[0] if len(self.parts) == 1 else None
+
+    def shift(self, k: int) -> "ValueSet":
+        return _vs(((region, si.shift(k)) for region, si in self.parts))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "VS{" + ", ".join(f"{r}:{si}" for r, si in self.parts) + "}"
+
+
+def _vs(items) -> ValueSet:
+    parts = tuple(sorted(items, key=lambda item: _region_key(item[0])))
+    return ValueSet(parts)
+
+
+def vs_const(value: int) -> ValueSet:
+    return _vs(((ABS, si_const(value & MASK64)),))
+
+
+def vs_region(region) -> ValueSet:
+    return _vs(((region, si_const(0)),))
+
+
+def vs_join(a, b):
+    if a is TOP or b is TOP:
+        return TOP
+    merged: Dict[object, StridedInterval] = dict(a.parts)
+    for region, si in b.parts:
+        merged[region] = merged[region].join(si) if region in merged else si
+    if len(merged) > MAX_REGIONS:
+        return TOP
+    return _vs(merged.items())
+
+
+def vs_abstract(vs):
+    """Loop-head abstraction, pointwise over the regions (the region
+    set itself is finite per program — one per pc — so only the
+    intervals need rounding)."""
+    if vs is TOP:
+        return TOP
+    return _vs((region, si.abstract()) for region, si in vs.parts)
+
+
+def vs_add(a, b):
+    """Sum of two value sets; symbolic + symbolic is unrepresentable."""
+    if a is TOP or b is TOP:
+        return TOP
+    for left, right in ((a, b), (b, a)):
+        single = left.single
+        if single is not None and single[0] == ABS:
+            si = single[1]
+            return _vs((region, other.add(si)) for region, other in right.parts)
+    return TOP
+
+
+def vs_sub(a, b):
+    if a is TOP or b is TOP:
+        return TOP
+    single_b = b.single
+    if single_b is not None and single_b[0] == ABS:
+        return _vs((region, si.add(single_b[1].negate()))
+                   for region, si in a.parts)
+    single_a = a.single
+    if (single_a is not None and single_b is not None
+            and single_a[0] == single_b[0]):
+        # Same symbolic base on both sides: the difference is absolute.
+        return _vs(((ABS, single_a[1].add(single_b[1].negate())),))
+    return TOP
+
+
+def _mask_interval(mask: int) -> StridedInterval:
+    """``x & mask`` for any x: a submask of *mask* — bounded by it and
+    congruent to 0 modulo the mask's lowest set bit."""
+    if mask == 0:
+        return si_const(0)
+    low_bit = mask & -mask
+    return _si_make(low_bit, 0, 0, mask)
+
+
+#: Opcodes folded exactly via :func:`repro.isa.semantics.compute` when
+#: every source is an absolute singleton.
+_FOLDABLE = frozenset({
+    Opcode.MOV, Opcode.MOVI, Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR,
+    Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.NOT, Opcode.NEG, Opcode.LEA,
+    Opcode.CMP, Opcode.TEST, Opcode.SELECT, Opcode.MUL, Opcode.DIV,
+    Opcode.MOD,
+})
+
+
+def _normalize_abs(vs: ValueSet) -> ValueSet:
+    """Reduce singleton ABS offsets to machine values so a negative
+    displacement and its wrapped equivalent compare as the same
+    address."""
+    parts = []
+    for region, si in vs.parts:
+        if region == ABS and si.is_singleton:
+            si = si_const(si.phase & MASK64)
+        parts.append((region, si))
+    return _vs(parts)
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """One static memory access: ``[address, address + width)`` bytes."""
+
+    pc: int
+    kind: str  # "load" | "store"
+    width: int  # 8 (LD/ST) or 32 (VLD/VST)
+    address: object  # ValueSet | TOP
+
+
+def _footprints_disjoint(a: StridedInterval, wa: int,
+                         b: StridedInterval, wb: int) -> bool:
+    """True iff ``a + [0, wa)`` and ``b + [0, wb)`` are provably disjoint
+    as machine addresses (offsets share one region base).
+
+    Range separation needs mathematical distance that cannot wrap; the
+    congruence argument needs a power-of-two modulus (dividing 2^64) or
+    bounded spans under 2^64.
+    """
+    bounded = a.bounded and b.bounded
+    span_ok = (bounded
+               and max(a.hi + wa, b.hi + wb) - min(a.lo, b.lo) < _TWO64)
+    if span_ok and (a.hi + wa <= b.lo or b.hi + wb <= a.lo):
+        return True
+    g = gcd(a.stride, b.stride)
+    if g == 0:  # two singletons: covered by the range check above
+        return span_ok and (a.phase + wa <= b.phase or b.phase + wb <= a.phase)
+    if wa + wb > g:
+        return False
+    power_of_two = g & (g - 1) == 0
+    if not (power_of_two or span_ok):
+        return False
+    # g divides each nonzero stride, so all of a's values are congruent
+    # to a.phase (mod g) and likewise for b.
+    d = (b.phase - a.phase) % g
+    return wa <= d <= g - wb
+
+
+class MemDepResult:
+    """Value sets, accesses, and alias verdicts of one program."""
+
+    def __init__(self, program: Program, cfg: Optional[CFG] = None,
+                 worklist_order: Optional[Sequence[int]] = None):
+        self.program = program
+        self.cfg = cfg if cfg is not None else build_cfg(program)
+        self._regs: Tuple[ArchReg, ...] = all_arch_regs()
+        self._loop_heads = self._find_loop_heads()
+        self._multi_instance = self._find_multi_instance()
+        self._block_in: List[Optional[Dict[ArchReg, object]]] = []
+        if self.cfg.blocks:
+            self._solve(worklist_order)
+        self.accesses: List[MemAccess] = self._collect_accesses()
+        self._access_at: Dict[int, MemAccess] = {
+            access.pc: access for access in self.accesses}
+        self._block_reach = self._block_reachability()
+
+    # -- fixpoint ----------------------------------------------------------
+    def _find_loop_heads(self) -> FrozenSet[int]:
+        """Targets of retreating edges (``succ.start <= block.start``):
+        every CFG cycle passes through at least one, so joining coarsely
+        there bounds the lattice height."""
+        heads = set()
+        for block in self.cfg.blocks:
+            for succ, _kind in block.succs:
+                if self.cfg.blocks[succ].start <= block.start:
+                    heads.add(succ)
+        return frozenset(heads)
+
+    def _find_multi_instance(self) -> FrozenSet[object]:
+        """Symbolic regions whose creating block can re-execute (reaches
+        itself in the CFG): their instances are not unique, so verdicts
+        through them need the caller's same-instance proof."""
+        blocks = self.cfg.blocks
+        in_cycle: Set[int] = set()
+        for block in blocks:
+            seen: Set[int] = set()
+            work = [succ for succ, _kind in block.succs]
+            while work:
+                index = work.pop()
+                if index == block.index:
+                    in_cycle.add(block.index)
+                    break
+                if index in seen:
+                    continue
+                seen.add(index)
+                work.extend(succ for succ, _kind in blocks[index].succs)
+        return frozenset(
+            ("pc", pc) for block_index in in_cycle
+            for pc in blocks[block_index].pcs())
+
+    def _entry_state(self) -> Dict[ArchReg, object]:
+        # The machine zero-initializes every register.
+        zero_int = vs_const(0)
+        return {reg: (TOP if reg.cls is RegClass.VEC else zero_int)
+                for reg in self._regs}
+
+    def _transfer(self, state: Dict[ArchReg, object], pc: int) -> None:
+        instr = self.program.instructions[pc]
+        if not instr.dests:
+            return
+        op = instr.opcode
+        dest = instr.dests[0]
+        if dest.cls is RegClass.VEC:
+            state[dest] = TOP
+            return
+        if op is Opcode.CALL:
+            state[dest] = vs_const(pc + 1)
+            return
+        if op is Opcode.LD:
+            state[dest] = vs_region(("pc", pc))
+            return
+        if op is Opcode.MOVI:
+            state[dest] = vs_const(instr.imm)
+            return
+        srcs = [state[src] for src in instr.srcs]
+        if (op in _FOLDABLE
+                and all(vs is not TOP and vs.single is not None
+                        and vs.single[0] == ABS and vs.single[1].is_singleton
+                        for vs in srcs)):
+            values = [vs.single[1].phase & MASK64 for vs in srcs]
+            state[dest] = vs_const(compute(instr, values))
+            return
+        if op is Opcode.MOV:
+            state[dest] = srcs[0]
+        elif op is Opcode.LEA:
+            state[dest] = (TOP if srcs[0] is TOP
+                           else srcs[0].shift(instr.imm))
+        elif op is Opcode.ADD:
+            state[dest] = vs_add(srcs[0], srcs[1])
+        elif op is Opcode.SUB:
+            state[dest] = vs_sub(srcs[0], srcs[1])
+        elif op is Opcode.AND:
+            state[dest] = self._transfer_and(srcs)
+        elif op is Opcode.SELECT:
+            state[dest] = vs_join(srcs[1], srcs[2])
+        else:
+            state[dest] = TOP
+
+    @staticmethod
+    def _transfer_and(srcs) -> object:
+        for vs in srcs:
+            if vs is TOP:
+                continue
+            single = vs.single
+            if (single is not None and single[0] == ABS
+                    and single[1].is_singleton):
+                return _vs(((ABS, _mask_interval(single[1].phase & MASK64)),))
+        return TOP
+
+    def _solve(self, worklist_order: Optional[Sequence[int]]) -> None:
+        blocks = self.cfg.blocks
+        self._block_in = [None] * len(blocks)
+        self._out: List[Optional[Dict[ArchReg, object]]] = [None] * len(blocks)
+        order = (list(worklist_order) if worklist_order is not None
+                 else list(range(len(blocks))))
+        work = list(order)
+        in_work = set(work)
+        while work:
+            index = work.pop()
+            in_work.discard(index)
+            block = blocks[index]
+            state = self._join_preds(index)
+            if state is None:
+                continue
+            self._block_in[index] = state
+            new_out = dict(state)
+            for pc in block.pcs():
+                self._transfer(new_out, pc)
+            if new_out != self._out[index]:
+                self._out[index] = new_out
+                for succ, _kind in block.succs:
+                    if succ not in in_work:
+                        work.append(succ)
+                        in_work.add(succ)
+
+    def _join_preds(self, index: int) -> Optional[Dict[ArchReg, object]]:
+        state: Optional[Dict[ArchReg, object]] = (
+            self._entry_state() if index == 0 else None)
+        for pred in self.cfg.blocks[index].preds:
+            pred_out = self._out[pred]
+            if pred_out is None:
+                continue
+            if state is None:
+                state = dict(pred_out)
+            else:
+                state = {reg: vs_join(state[reg], pred_out[reg])
+                         for reg in state}
+        if state is not None and index in self._loop_heads:
+            state = {reg: vs_abstract(vs) for reg, vs in state.items()}
+        return state
+
+    # -- queries -----------------------------------------------------------
+    def value_at(self, pc: int, reg: ArchReg) -> object:
+        """Abstract value of *reg* immediately before *pc* executes."""
+        block = self.cfg.block_of(pc)
+        state_in = self._block_in[block.index]
+        if state_in is None:  # unreachable block
+            return TOP
+        state = dict(state_in)
+        for q in range(block.start, pc):
+            self._transfer(state, q)
+        return state[reg]
+
+    def _collect_accesses(self) -> List[MemAccess]:
+        accesses = []
+        reachable = self.cfg.reachable()
+        for pc, instr in enumerate(self.program.instructions):
+            if not instr.is_memory:
+                continue
+            if self.cfg.block_index[pc] not in reachable:
+                continue
+            base = instr.srcs[1] if instr.is_store else instr.srcs[0]
+            vs = self.value_at(pc, base)
+            address = TOP if vs is TOP else _normalize_abs(vs.shift(instr.imm))
+            width = (VEC_LANES * WORD_BYTES
+                     if instr.opcode in (Opcode.VLD, Opcode.VST)
+                     else WORD_BYTES)
+            accesses.append(MemAccess(
+                pc=pc, kind="load" if instr.is_load else "store",
+                width=width, address=address))
+        return accesses
+
+    def access_at(self, pc: int) -> Optional[MemAccess]:
+        return self._access_at.get(pc)
+
+    # -- alias verdicts ----------------------------------------------------
+    def alias(self, a: MemAccess, b: MemAccess,
+              same_instance: bool = False) -> str:
+        """Verdict between two accesses: ``must`` (identical start
+        addresses), ``no`` (provably disjoint footprints), or ``may``.
+
+        *same_instance* asserts that the two accesses observe the same
+        instance of any shared symbolic region (valid inside one atomic
+        region chain that does not re-execute the region's creating pc).
+        """
+        if a.address is TOP or b.address is TOP:
+            return MAY
+        sa, sb = a.address.single, b.address.single
+        if sa is None or sb is None or sa[0] != sb[0]:
+            return MAY
+        region = sa[0]
+        if (region != ABS and not same_instance
+                and region in self._multi_instance):
+            return MAY
+        si_a, si_b = sa[1], sb[1]
+        if si_a.is_singleton and si_b.is_singleton:
+            if si_a.phase == si_b.phase:
+                return MUST
+        if _footprints_disjoint(si_a, a.width, si_b, b.width):
+            return NO
+        return MAY
+
+    def alias_counts(self) -> Dict[str, int]:
+        """Verdict histogram over every load/store-relevant pair (at
+        least one store)."""
+        counts = {MUST: 0, MAY: 0, NO: 0}
+        for i, a in enumerate(self.accesses):
+            for b in self.accesses[i + 1:]:
+                if a.kind == "load" and b.kind == "load":
+                    continue
+                counts[self.alias(a, b)] += 1
+        return counts
+
+    # -- reachability ------------------------------------------------------
+    def _block_reachability(self) -> List[Set[int]]:
+        """Per block: blocks reachable along one or more CFG edges."""
+        blocks = self.cfg.blocks
+        reach: List[Set[int]] = []
+        for block in blocks:
+            seen: Set[int] = set()
+            work = [succ for succ, _kind in block.succs]
+            while work:
+                index = work.pop()
+                if index in seen:
+                    continue
+                seen.add(index)
+                work.extend(succ for succ, _kind in blocks[index].succs)
+            reach.append(seen)
+        return reach
+
+    def pc_reaches(self, src_pc: int, dst_pc: int) -> bool:
+        """May execution at *src_pc* be followed, later, by *dst_pc*?"""
+        src_block = self.cfg.block_index[src_pc]
+        dst_block = self.cfg.block_index[dst_pc]
+        if src_block == dst_block and src_pc < dst_pc:
+            return True
+        return dst_block in self._block_reach[src_block]
+
+    def _successor_pcs(self, pc: int) -> List[int]:
+        block = self.cfg.block_of(pc)
+        if pc < block.end - 1:
+            return [pc + 1]
+        return [self.cfg.blocks[succ].start for succ, _kind in block.succs]
+
+    # -- dependence edges --------------------------------------------------
+    def reaching_stores(self, load: MemAccess) -> List[Tuple[MemAccess, str]]:
+        """Stores that may reach *load* (no-kill over-approximation) and
+        are not provably disjoint from it, with their verdicts."""
+        out = []
+        for store in self.accesses:
+            if store.kind != "store":
+                continue
+            if not self.pc_reaches(store.pc, load.pc):
+                continue
+            verdict = self.alias(store, load)
+            if verdict != NO:
+                out.append((store, verdict))
+        return out
+
+    def dependence_edges(self) -> List[Tuple[int, int, str]]:
+        """Store-to-load edges ``(store_pc, load_pc, verdict)``."""
+        edges = []
+        for load in self.accesses:
+            if load.kind != "load":
+                continue
+            edges.extend((store.pc, load.pc, verdict)
+                         for store, verdict in self.reaching_stores(load))
+        return edges
+
+    # -- lint back-ends ----------------------------------------------------
+    def undefined_loads(self) -> List[int]:
+        """Loads no store and no data-image word can reach: the value is
+        provably the zero-fill.  Only absolute, bounded addresses can
+        prove this (a symbolic base might point anywhere)."""
+        out = []
+        data_words = [(si_const(addr), WORD_BYTES)
+                      for addr in self.program.data]
+        for load in self.accesses:
+            if load.kind != "load" or load.address is TOP:
+                continue
+            single = load.address.single
+            if single is None or single[0] != ABS or not single[1].bounded:
+                continue
+            if self.reaching_stores(load):
+                continue
+            if any(not _footprints_disjoint(single[1], load.width, si, width)
+                   for si, width in data_words):
+                continue
+            out.append(load.pc)
+        return out
+
+    def _must_cover(self, killer: MemAccess, victim: MemAccess) -> bool:
+        """Does *killer*'s footprint provably contain *victim*'s?"""
+        if killer.address is TOP or victim.address is TOP:
+            return False
+        sk, sv = killer.address.single, victim.address.single
+        if sk is None or sv is None or sk[0] != sv[0]:
+            return False
+        if sk[0] != ABS and sk[0] in self._multi_instance:
+            return False
+        if not (sk[1].is_singleton and sv[1].is_singleton):
+            return False
+        start_k, start_v = sk[1].phase, sv[1].phase
+        return (start_k <= start_v
+                and start_v + victim.width <= start_k + killer.width)
+
+    def dead_stores(self) -> List[int]:
+        """Stores provably overwritten, on every path, before any load
+        that could observe them and before program exit (final memory is
+        architecturally observable, so exit counts as a use)."""
+        out = []
+        for store in self.accesses:
+            if store.kind != "store":
+                continue
+            single = (None if store.address is TOP
+                      else store.address.single)
+            if single is None or not single[1].is_singleton:
+                continue
+            if single[0] != ABS and single[0] in self._multi_instance:
+                continue
+            if self._store_is_dead(store):
+                out.append(store.pc)
+        return out
+
+    def _store_is_dead(self, store: MemAccess) -> bool:
+        work = self._successor_pcs(store.pc)
+        visited: Set[int] = set()
+        while work:
+            pc = work.pop()
+            if pc in visited:
+                continue
+            visited.add(pc)
+            instr = self.program.instructions[pc]
+            access = self._access_at.get(pc)
+            if access is not None:
+                if access.kind == "load":
+                    if self.alias(store, access) != NO:
+                        return False
+                elif self._must_cover(access, store):
+                    continue  # this path is killed
+            if instr.is_halt:
+                return False
+            succs = self._successor_pcs(pc)
+            if not succs:
+                return False  # leaving the image is an exit
+            work.extend(succs)
+        return True
+
+    def partial_overlaps(self) -> List[Tuple[int, int]]:
+        """Pairs provably overlapping with neither footprint containing
+        the other — almost always a width confusion."""
+        out = []
+        for i, a in enumerate(self.accesses):
+            for b in self.accesses[i + 1:]:
+                if not (self.pc_reaches(a.pc, b.pc)
+                        or self.pc_reaches(b.pc, a.pc)):
+                    continue
+                if self._partially_overlap(a, b):
+                    out.append((a.pc, b.pc))
+        return out
+
+    def _partially_overlap(self, a: MemAccess, b: MemAccess) -> bool:
+        if a.address is TOP or b.address is TOP:
+            return False
+        sa, sb = a.address.single, b.address.single
+        if sa is None or sb is None or sa[0] != sb[0]:
+            return False
+        if sa[0] != ABS and sa[0] in self._multi_instance:
+            return False
+        if not (sa[1].is_singleton and sb[1].is_singleton):
+            return False
+        lo_a, lo_b = sa[1].phase, sb[1].phase
+        overlap = lo_a < lo_b + b.width and lo_b < lo_a + a.width
+        return (overlap and not self._must_cover(a, b)
+                and not self._must_cover(b, a))
+
+    # -- memory-aware atomic regions ---------------------------------------
+    def classify_regions(self, report: StaticRegionReport
+                         ) -> List["RegionMemory"]:
+        """Memory classification of every atomic-but-for-memory region
+        (closed ``non_branch`` windows): which accesses are provably
+        safe to reorder, which loads could forward, which pairs block.
+
+        Atomic windows proper contain no memory operations (loads and
+        stores are ``may_except`` breakers), so the candidates are the
+        windows only memory keeps from being atomic — exactly the set a
+        speculative-memory pipeline could promote.
+        """
+        out = []
+        for window in report.closed_windows():
+            if not window.non_branch:
+                continue
+            accesses = [self._access_at[pc] for pc in window.chain
+                        if pc in self._access_at]
+            if not accesses:
+                continue
+            out.append(self._classify_window(window, accesses))
+        return out
+
+    def _classify_window(self, window: StaticWindow,
+                         accesses: List[MemAccess]) -> "RegionMemory":
+        chain_pcs = set(window.chain)
+
+        def verdict(a: MemAccess, b: MemAccess) -> str:
+            # Within one deterministic chain every pc executes once, so
+            # a symbolic region created outside the chain is observed as
+            # a single instance by both accesses.
+            regions = set()
+            for access in (a, b):
+                if access.address is not TOP:
+                    regions.update(access.address.regions)
+            same_instance = not any(
+                region != ABS and region[1] in chain_pcs
+                for region in regions)
+            return self.alias(a, b, same_instance=same_instance)
+
+        safe_reorder = []
+        forwardable = []
+        blocked: List[Tuple[int, int]] = []
+        for i, access in enumerate(accesses):
+            others = [other for other in accesses if other is not access
+                      and (access.kind == "store" or other.kind == "store")]
+            if all(verdict(access, other) == NO for other in others):
+                safe_reorder.append(access.pc)
+            for other in accesses[i + 1:]:
+                if (access.kind == "store" or other.kind == "store") \
+                        and verdict(access, other) == MAY:
+                    blocked.append((access.pc, other.pc))
+        for i, access in enumerate(accesses):
+            if access.kind != "load":
+                continue
+            source = None
+            clean = True
+            for prior in accesses[:i]:
+                if prior.kind != "store":
+                    continue
+                v = verdict(prior, access)
+                if v == MUST and prior.width == access.width:
+                    source = prior.pc
+                elif v == MAY:
+                    clean = False
+            if source is not None and clean:
+                forwardable.append(access.pc)
+        return RegionMemory(
+            window=window,
+            access_pcs=tuple(access.pc for access in accesses),
+            safe_reorder=tuple(safe_reorder),
+            forwardable=tuple(forwardable),
+            blocked_pairs=tuple(blocked),
+        )
+
+    def region_may_alias(self, report: StaticRegionReport
+                         ) -> List[Tuple[int, int]]:
+        """Deduplicated same-provenance ``may`` pairs (at least one
+        store) inside atomic-but-for-memory regions — the pairs that
+        would block forwarding.  "Same provenance" means both addresses
+        derive from the same *symbolic* region (the same load-produced
+        pointer): those are the pairs the author could restructure.  ABS
+        commonality is excluded — every concrete address is absolute, so
+        a ``may`` verdict there usually just means the lattice cannot
+        count loop trips; such pairs (and unrelated-provenance ones) are
+        reported through :meth:`classify_regions` counts instead."""
+        seen: Set[Tuple[int, int]] = set()
+        out = []
+        for info in self.classify_regions(report):
+            for pc_a, pc_b in info.blocked_pairs:
+                a, b = self._access_at[pc_a], self._access_at[pc_b]
+                if a.address is TOP or b.address is TOP:
+                    continue
+                sa, sb = a.address.single, b.address.single
+                if (sa is None or sb is None or sa[0] != sb[0]
+                        or sa[0] == ABS):
+                    continue
+                key = (min(pc_a, pc_b), max(pc_a, pc_b))
+                if key not in seen:
+                    seen.add(key)
+                    out.append(key)
+        return sorted(out)
+
+
+@dataclass(frozen=True)
+class RegionMemory:
+    """Memory classification of one atomic-but-for-memory region."""
+
+    window: StaticWindow
+    access_pcs: Tuple[int, ...]
+    safe_reorder: Tuple[int, ...]
+    forwardable: Tuple[int, ...]
+    blocked_pairs: Tuple[Tuple[int, int], ...]
+
+
+def analyze_memdep(program: Program, cfg: Optional[CFG] = None,
+                   worklist_order: Optional[Sequence[int]] = None
+                   ) -> MemDepResult:
+    """Run the address VSA over *program* and return the result.
+
+    *worklist_order* seeds the fixpoint worklist (any permutation of the
+    block indices); the result is identical for every order — the
+    determinism tests shuffle it.
+    """
+    return MemDepResult(program, cfg=cfg, worklist_order=worklist_order)

@@ -53,6 +53,12 @@ class StaticWindow:
     #: What ended or declassified the chain, for diagnostics
     #: (e.g. "bne@12", "ld@7", "halt", "image-edge", "revisit").
     breaker: Optional[str] = None
+    #: The pcs the chain walked, in execution order (ends with
+    #: ``redef_pc`` when the window closed).  The memory-aware region
+    #: pass (:mod:`repro.staticcheck.memdep`) classifies the accesses at
+    #: these pcs; each pc appears at most once, so two accesses on one
+    #: chain observe the same instance of any load-produced address.
+    chain: Tuple[int, ...] = ()
 
     @property
     def atomic(self) -> bool:
@@ -117,32 +123,39 @@ def _walk_chain(program: Program, reg: ArchReg,
     non_branch = True
     non_except = True
     visited: Set[int] = set()
+    chain: List[int] = []
     pc: Optional[int] = 0 if def_pc is None \
         else _chain_successor(program, def_pc)
     while pc is not None:
         if pc in visited:
             return StaticWindow(reg, def_pc, None, consumers,
-                                False, False, breaker="revisit")
+                                False, False, breaker="revisit",
+                                chain=tuple(chain))
         visited.add(pc)
+        chain.append(pc)
         instr = program.instructions[pc]
         if instr.breaks_region_control:
             # Chain forks (or leaves through a register): window stays
             # open past the breaker, so it can never be proven atomic.
             return StaticWindow(reg, def_pc, None, consumers,
                                 False, False,
-                                breaker=f"{instr.opcode.value}@{pc}")
+                                breaker=f"{instr.opcode.value}@{pc}",
+                                chain=tuple(chain))
         if instr.may_except:
             non_except = False
         consumers += sum(1 for src in instr.srcs if src == reg)
         if reg in instr.dests:
             return StaticWindow(reg, def_pc, pc, consumers,
-                                non_branch, non_except)
+                                non_branch, non_except,
+                                chain=tuple(chain))
         if instr.is_halt:
             return StaticWindow(reg, def_pc, None, consumers,
-                                False, False, breaker="halt")
+                                False, False, breaker="halt",
+                                chain=tuple(chain))
         pc = _chain_successor(program, pc)
     return StaticWindow(reg, def_pc, None, consumers,
-                        False, False, breaker="image-edge")
+                        False, False, breaker="image-edge",
+                        chain=tuple(chain))
 
 
 def analyze_regions(program: Program) -> StaticRegionReport:

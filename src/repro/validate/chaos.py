@@ -250,15 +250,20 @@ def run_chaos_cell(spec: ChaosSpec) -> CellResult:
         f"jitter={knobs['exec_jitter']} interrupts="
         f"{injected if injected else 'none'}")
 
-    # ATR-claiming schemes additionally get the static cross-check: every
-    # out-of-order release must match a statically-proven atomic window,
-    # under whatever flush/interrupt schedule the chaos faults produce.
+    # ATR-claiming schemes additionally get the static cross-checks:
+    # every out-of-order release must match a statically-proven atomic
+    # window, and total ATR activity must stay within the static
+    # opportunity bound — under whatever flush/interrupt schedule the
+    # chaos faults produce.
     oracle = None
+    bound_probe = None
     if spec.scheme in ("atr", "combined"):
-        from ..staticcheck import AtrSoundnessProbe
+        from ..staticcheck import AtrSoundnessProbe, StaticBoundProbe
         oracle = AtrSoundnessProbe(trace.program,
                                    strict_unclaimed=(spec.scheme == "atr"))
         core.add_probe(oracle)
+        bound_probe = StaticBoundProbe(trace.program)
+        core.add_probe(bound_probe)
 
     error = None
     try:
@@ -277,6 +282,13 @@ def run_chaos_cell(spec: ChaosSpec) -> CellResult:
         detail = "\n".join(f"  {violation}" for violation in oracle.violations)
         report = (f"static atomic-region oracle: {len(oracle.violations)} "
                   f"unsound release(s) under {perturbation}:\n{detail}")
+        error = f"{error}\n{report}" if error else report
+
+    if bound_probe is not None and bound_probe.violations:
+        detail = "\n".join(f"  {violation}"
+                           for violation in bound_probe.violations)
+        report = (f"static ATR opportunity bound: {bound_probe.summary()} "
+                  f"under {perturbation}:\n{detail}")
         error = f"{error}\n{report}" if error else report
 
     stats = core.stats

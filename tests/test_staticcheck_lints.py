@@ -1,5 +1,7 @@
 """Lint rules, inline suppression, builder validation, and the CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -10,12 +12,20 @@ from repro.isa import (
     ProgramBuilder,
     ProgramValidationError,
     ireg,
+    vreg,
 )
-from repro.staticcheck import RULES, Severity, lint_benchmark, lint_program
+from repro.staticcheck import (
+    META_RULES,
+    RULES,
+    Severity,
+    lint_benchmark,
+    lint_program,
+)
 from repro.staticcheck.lints import suppressed_rules
 from repro.workloads import ALL_BENCHMARKS
 
 r = ireg
+v = vreg
 
 
 def _rules_fired(report):
@@ -105,6 +115,134 @@ class TestRules:
         for rule, (severity, description) in RULES.items():
             assert isinstance(severity, Severity)
             assert description
+        for rule, (severity, description) in META_RULES.items():
+            assert isinstance(severity, Severity) and description
+            assert rule not in RULES
+
+
+class TestMemoryRules:
+    def test_mem_undef_load(self):
+        b = ProgramBuilder("t")
+        b.movi(r(1), 0x1000)
+        b.ld(r(2), r(1), 0)      # nothing initializes 0x1000
+        b.halt()
+        report = lint_program(b.build())
+        findings = report.by_rule("mem-undef-load")
+        assert [f.pc for f in findings] == [1]
+
+    def test_mem_dead_store(self):
+        b = ProgramBuilder("t")
+        b.movi(r(1), 0x40)
+        b.movi(r(2), 7)
+        b.st(r(2), r(1), 0)      # pc 2: overwritten before any observer
+        b.st(r(2), r(1), 0)
+        b.halt()
+        report = lint_program(b.build())
+        assert [f.pc for f in report.by_rule("mem-dead-store")] == [2]
+
+    def test_mem_overlap_partial(self):
+        b = ProgramBuilder("t")
+        b.movi(r(1), 0x40)
+        b.movi(r(2), 0x100)
+        b.vld(v(1), r(2), 0)     # pc 2
+        b.vst(v(1), r(1), 0)     # pc 3: [0x40, 0x60)
+        b.ld(r(3), r(1), 28)     # pc 4: [0x5c, 0x64) — straddles the end
+        b.halt()
+        program = b.build()
+        for lane in range(4):
+            program.data[0x100 + 8 * lane] = lane  # feed the vld
+        report = lint_program(program)
+        findings = report.by_rule("mem-overlap-partial")
+        assert [f.pc for f in findings] == [4]
+        assert "neither covers the other" in findings[0].message
+
+    def test_mem_aliased_in_region(self):
+        """A store and an unknown-index load off the same loaded pointer,
+        inside one atomic-but-for-memory window."""
+        b = ProgramBuilder("t")
+        b.movi(r(1), 0x40)
+        b.ld(r(2), r(1), 0)      # p (symbolic)
+        b.ld(r(3), r(1), 8)      # unknown index
+        b.movi(r(4), 0x38)
+        b.and_(r(5), r(3), r(4))
+        b.add(r(6), r(2), r(5))  # p + masked index
+        b.movi(r(7), 1)          # window opens
+        b.st(r(7), r(2), 0)      # pc 7
+        b.ld(r(8), r(6), 0)      # pc 8: may alias the store
+        b.movi(r(7), 2)          # window closes
+        b.halt()
+        program = b.build()
+        program.data[0x40] = 0x2000
+        program.data[0x48] = 3
+        report = lint_program(program)
+        findings = report.by_rule("mem-aliased-in-region")
+        assert [f.pc for f in findings] == [8]
+        assert "same loaded pointer" in findings[0].message
+
+    def test_mem_rule_is_suppressible(self):
+        b = ProgramBuilder("t")
+        b.movi(r(1), 0x40)
+        b.movi(r(2), 7)
+        b.st(r(2), r(1), 0)
+        b.lint_ignore("mem-dead-store")
+        b.st(r(2), r(1), 0)
+        b.halt()
+        report = lint_program(b.build())
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["mem-dead-store"]
+
+
+class TestDataflowEdgeCases:
+    """FLAGS and VEC registers flow through the same def/use lattice as
+    the integer file."""
+
+    def test_branch_without_compare_reads_undefined_flags(self):
+        b = ProgramBuilder("t")
+        b.movi(r(1), 1)
+        b.beq("end")             # FLAGS never written on this path
+        b.movi(r(2), 2)
+        b.label("end")
+        b.halt()
+        report = lint_program(b.build())
+        findings = report.by_rule("df-undef-read")
+        assert [f.pc for f in findings] == [1]
+        assert "flags" in findings[0].message
+
+    def test_flags_redefined_without_branch_is_dead(self):
+        b = ProgramBuilder("t")
+        b.movi(r(1), 1)
+        b.cmp(r(1), r(1))        # pc 1: FLAGS overwritten before any read
+        b.cmp(r(1), r(1))
+        b.beq("end")
+        b.label("end")
+        b.halt()
+        report = lint_program(b.build())
+        assert [f.pc for f in report.by_rule("df-dead-store")] == [1]
+
+    def test_vec_redefinition_is_dead(self):
+        b = ProgramBuilder("t")
+        b.movi(r(1), 0x100)
+        b.vld(v(1), r(1), 0)     # pc 1: v1 redefined before any use
+        b.vld(v(1), r(1), 0)
+        b.vst(v(1), r(1), 64)
+        b.halt()
+        program = b.build()
+        for lane in range(4):
+            program.data[0x100 + 8 * lane] = lane
+        report = lint_program(program)
+        assert [f.pc for f in report.by_rule("df-dead-store")] == [1]
+
+    def test_vec_never_written_is_live_at_exit(self):
+        """A single VEC write is architecturally observable at exit —
+        no dead store, symmetric with the integer rule."""
+        b = ProgramBuilder("t")
+        b.movi(r(1), 0x100)
+        b.vld(v(1), r(1), 0)
+        b.halt()
+        program = b.build()
+        for lane in range(4):
+            program.data[0x100 + 8 * lane] = lane
+        assert lint_program(program).ok
 
 
 class TestSuppression:
@@ -137,6 +275,11 @@ class TestSuppression:
         b.halt()
         report = lint_program(b.build())
         assert not report.ok
+        # The finding survives, and the mismatched marker itself draws
+        # the unused-suppression meta-finding.
+        assert sorted(f.rule for f in report.active) == [
+            "df-dead-store", "lint-unused-ignore"]
+        report = lint_program(b.build(), warn_unused_ignore=False)
         assert [f.rule for f in report.active] == ["df-dead-store"]
 
     def test_lint_ignore_requires_instruction_and_rules(self):
@@ -227,3 +370,85 @@ class TestCli:
         assert main(["lint", "perlbench", "-v"]) == 0
         out = capsys.readouterr().out
         assert "suppressed" in out
+
+    def test_lint_format_json(self, capsys):
+        assert main(["lint", "mcf", "perlbench", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] == 0
+        by_name = {row["benchmark"]: row for row in payload["benchmarks"]}
+        assert by_name["505.mcf_r"]["ok"] is True
+        assert by_name["505.mcf_r"]["findings"] == []
+        # perlbench carries a suppressed finding; JSON keeps it, marked
+        perl = by_name["500.perlbench_r"]
+        assert perl["ok"] is True
+        assert any(f["suppressed"] for f in perl["findings"])
+        assert all({"rule", "severity", "pc", "label", "message"}
+                   <= set(f) for f in perl["findings"])
+
+    def test_lint_json_reports_violations(self, capsys, monkeypatch):
+        import repro.workloads as workloads
+
+        def bad_builder(iterations=1):
+            b = ProgramBuilder("seeded")
+            b.movi(r(1), 1)
+            b.movi(r(1), 2)
+            b.halt()
+            return b.build()
+
+        monkeypatch.setattr(workloads, "resolve", lambda name: name)
+        monkeypatch.setattr(workloads, "builder_for",
+                            lambda name: bad_builder)
+        assert main(["lint", "seeded", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] == 1
+        rules = [f["rule"] for f in payload["benchmarks"][0]["findings"]]
+        assert "df-dead-store" in rules
+
+    def test_no_warn_unused_ignore_flag(self, capsys, monkeypatch):
+        import repro.workloads as workloads
+
+        def stale_builder(iterations=1):
+            b = ProgramBuilder("stale")
+            b.movi(r(1), 1)
+            b.lint_ignore("cfg-unreachable")  # suppresses nothing
+            b.halt()
+            return b.build()
+
+        monkeypatch.setattr(workloads, "resolve", lambda name: name)
+        monkeypatch.setattr(workloads, "builder_for",
+                            lambda name: stale_builder)
+        assert main(["lint", "stale"]) == 1
+        assert "lint-unused-ignore" in capsys.readouterr().out
+        assert main(["lint", "stale", "--no-warn-unused-ignore"]) == 0
+
+    def test_list_lints(self, capsys):
+        assert main(["list", "lints"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
+        assert "lint-unused-ignore" in out and "(meta)" in out
+
+
+class TestAnalyzeStaticCli:
+    def test_static_table_json(self, capsys):
+        assert main(["analyze", "static", "mcf", "-n", "400",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bound_violations"] == 0
+        row = payload["benchmarks"][0]
+        assert row["benchmark"] == "505.mcf_r"
+        assert row["bound_ok"] is True
+        assert row["dynamic_realized"] <= row["static_bound"]
+        assert {"regions", "alias_pairs", "forwardable_loads"} <= set(row)
+
+    def test_static_table_text(self, capsys):
+        assert main(["analyze", "static", "exchange2", "-n", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "548.exchange2_r" in out and "bound" in out
+        assert "VIOLATION" not in out
+
+    def test_unknown_benchmark_is_usage_error(self, capsys):
+        assert main(["analyze", "static", "nonesuch"]) == 2
+
+    def test_dynamic_mode_takes_one_benchmark(self, capsys):
+        assert main(["analyze", "mcf", "omnetpp"]) == 2

@@ -1,0 +1,123 @@
+"""Static pressure, the release-weight map, and the sound ATR bound."""
+
+import pytest
+
+from repro.isa import ProgramBuilder, ireg
+from repro.pipeline import Core
+from repro.pipeline.config import fast_test_config
+from repro.staticcheck import StaticBoundProbe, analyze_pressure
+from repro.validate.chaos import ChaosSpec, run_chaos_cell
+from repro.workloads import build_trace
+
+r = ireg
+
+
+def _toy():
+    b = ProgramBuilder("toy")
+    b.movi(r(1), 1)              # pc 0: def r1
+    b.movi(r(2), 2)              # pc 1
+    b.movi(r(1), 3)              # pc 2: redef r1 — atomic window [0, 2]
+    b.halt()
+    return b.build()
+
+
+class TestPressureReport:
+    def test_release_weight(self):
+        # First writes displace the entry mappings (windows with
+        # def_pc=None), so every movi here carries weight 1.
+        report = analyze_pressure(_toy())
+        assert report.release_weight == {0: 1, 1: 1, 2: 1}
+
+    def test_trace_bound_sums_over_the_stream(self):
+        report = analyze_pressure(_toy())
+        assert report.trace_bound([0, 1, 2]) == 3
+        assert report.trace_bound([2, 2, 2]) == 3
+        assert report.trace_bound([3]) == 0  # halt carries no weight
+
+    def test_live_counts_cover_every_pc(self):
+        program = _toy()
+        report = analyze_pressure(program)
+        assert len(report.live_int) == len(program.instructions)
+        assert report.max_pressure() >= 1
+
+    def test_counts_keys(self):
+        counts = analyze_pressure(_toy()).counts()
+        assert counts["atomic_windows"] == 3
+        assert counts["static_weight"] == 3
+        assert "max_int_pressure" in counts
+
+    def test_kernel_has_opportunity(self):
+        program = build_trace("505.mcf_r", 100).program
+        report = analyze_pressure(program)
+        assert report.release_weight and sum(report.release_weight.values())
+
+
+class TestStaticBoundProbe:
+    @pytest.mark.parametrize("scheme", ("atr", "combined"))
+    def test_bound_holds_on_real_run(self, scheme):
+        trace = build_trace("505.mcf_r", 800)
+        config = fast_test_config(rf_size=48, scheme=scheme)
+        core = Core(config, trace)
+        probe = core.add_probe(StaticBoundProbe(trace.program))
+        core.run()
+        assert probe.ok, [str(v) for v in probe.violations]
+        assert probe.bound > 0
+        assert probe.claims_seen <= probe.bound
+        assert probe.claimed_releases <= probe.claims_seen
+        assert "static bound" in probe.summary()
+
+    def test_synthetic_violation(self):
+        probe = StaticBoundProbe(_toy())
+        assert probe.bound == 0
+        probe.on_claim("int", 7, cycle=5)
+        assert not probe.ok
+        violation = probe.violations[0]
+        assert violation.kind == "claims"
+        assert "static ATR bound violated" in str(violation)
+        probe.on_early_release("int", 7, cycle=6)
+        assert any(v.kind == "releases" for v in probe.violations)
+
+    def test_unclaimed_release_is_not_counted(self):
+        probe = StaticBoundProbe(_toy())
+        probe.on_early_release("int", 3, cycle=1)  # never claimed
+        assert probe.claimed_releases == 0 and probe.ok
+
+    def test_trace_bound_dominates_committed_releases(self):
+        from repro.harness import CellSpec
+        from repro.harness.jobs import simulate_cell
+
+        n = 1000
+        spec = CellSpec(benchmark="505.mcf_r", rf_size=64, scheme="atr",
+                        instructions=n, record_register_events=True)
+        cell = simulate_cell(spec)
+        trace = build_trace("505.mcf_r", n)
+        report = analyze_pressure(trace.program)
+        bound = report.trace_bound(e.pc for e in trace.entries)
+        realized = sum(1 for record in cell.event_records
+                       if record.early_release_cycle is not None)
+        assert realized <= bound
+
+
+class TestChaosIntegration:
+    def test_bound_holds_under_chaos(self):
+        spec = ChaosSpec(benchmark="505.mcf_r", scheme="atr", rf_size=48,
+                         instructions=600, seed=11, intensity="low")
+        result = run_chaos_cell(spec)
+        assert result.error is None, result.error
+
+    def test_violation_surfaces_in_cell_error(self, monkeypatch):
+        """Starve the probe's weight map: every claim then exceeds the
+        bound, and the chaos cell must report it."""
+        import repro.staticcheck as staticcheck
+
+        class Starved(StaticBoundProbe):
+            def __init__(self, program, report=None):
+                super().__init__(program, report)
+                self._weight = {}
+
+        monkeypatch.setattr(staticcheck, "StaticBoundProbe", Starved)
+        spec = ChaosSpec(benchmark="505.mcf_r", scheme="atr", rf_size=48,
+                         instructions=400, seed=3, intensity="low")
+        result = run_chaos_cell(spec)
+        assert result.error is not None
+        assert "static ATR opportunity bound" in result.error
